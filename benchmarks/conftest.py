@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables/figures: it runs
+the corresponding experiment once (``benchmark.pedantic`` with a single
+round — the experiments are deterministic simulations, not micro-benchmarks),
+prints the experiment's report table (run pytest with ``-s`` to see it), and
+attaches the headline numbers to ``benchmark.extra_info`` so they are
+preserved in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import registry
+
+
+@pytest.fixture
+def run_experiment_benchmark(benchmark):
+    """Run one registered experiment under pytest-benchmark and report it."""
+
+    def runner(experiment_id: str, **kwargs):
+        fn = registry.get(experiment_id)
+        result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+        print()
+        print(result.to_text())
+        benchmark.extra_info["experiment"] = experiment_id
+        benchmark.extra_info["title"] = result.title
+        benchmark.extra_info["rows"] = [
+            [str(cell) for cell in row] for row in result.rows
+        ]
+        return result
+
+    return runner

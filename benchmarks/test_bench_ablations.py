@@ -1,0 +1,19 @@
+"""Benchmarks for the design-choice ablations listed in DESIGN.md §5."""
+
+
+def test_bench_ablation_scoring_exponent(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "ablation_exponent", exponents=(1.0, 2.0, 3.0, 4.0), num_clients=90
+    )
+    assert len(result.rows) == 4
+    assert all(row[4] > 0 for row in result.rows)  # p99.9 measured for every b
+
+
+def test_bench_ablation_concurrency_weight(run_experiment_benchmark):
+    result = run_experiment_benchmark("ablation_concurrency", num_clients=90)
+    assert len(result.rows) == 3
+
+
+def test_bench_ablation_rate_control(run_experiment_benchmark):
+    result = run_experiment_benchmark("ablation_rate_control", num_clients=90)
+    assert len(result.rows) == 2

@@ -1,0 +1,11 @@
+"""Benchmarks regenerating Figure 1 (motivating example) and Table 1."""
+
+
+def test_bench_fig01_motivating_example(run_experiment_benchmark):
+    result = run_experiment_benchmark("fig01")
+    assert result.data["ideal_latency"] < result.data["lor_latency"]
+
+
+def test_bench_table1_survey(run_experiment_benchmark):
+    result = run_experiment_benchmark("table1")
+    assert len(result.rows) == 4

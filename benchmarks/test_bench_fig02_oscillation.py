@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 2 — DS load oscillations on the hottest node."""
+
+from repro.experiments.common import ClusterScale
+
+SCALE = ClusterScale(num_nodes=15, num_generators=60, duration_ms=2_000.0, seed=2)
+
+
+def test_bench_fig02_load_oscillations(run_experiment_benchmark):
+    result = run_experiment_benchmark("fig02", strategies=("DS", "C3"), scale=SCALE)
+    rows = {row[0]: row for row in result.rows}
+    # DS shows larger swings (oscillation score) than C3 on the hottest node.
+    assert rows["DS"][5] > rows["C3"][5] * 0.8

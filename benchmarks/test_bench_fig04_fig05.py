@@ -1,0 +1,17 @@
+"""Benchmarks regenerating Figures 4 and 5 (scoring and rate-control curves)."""
+
+
+def test_bench_fig04_scoring_functions(run_experiment_benchmark):
+    result = run_experiment_benchmark("fig04")
+    rows = result.row_dicts()
+    linear = next(r for r in rows if "linear" in r["scoring function"])
+    cubic = next(r for r in rows if "cubic" in r["scoring function"])
+    # The cubic score tolerates far less queue imbalance than the linear one.
+    assert cubic["imbalance ratio"] < linear["imbalance ratio"]
+
+
+def test_bench_fig05_cubic_growth_curve(run_experiment_benchmark):
+    result = run_experiment_benchmark("fig05")
+    regions = [row[2] for row in result.rows]
+    assert regions[0] == "low-rate (steep growth)"
+    assert regions[-1] == "optimistic probing"

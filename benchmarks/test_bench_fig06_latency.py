@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 6 — latency profile per workload, C3 vs DS."""
+
+from repro.experiments.common import ClusterScale
+
+SCALE = ClusterScale(num_nodes=15, num_generators=60, duration_ms=2_000.0, seed=1)
+
+
+def test_bench_fig06_latency_profile(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "fig06",
+        strategies=("C3", "DS"),
+        mixes=("read_heavy", "read_only", "update_heavy"),
+        scale=SCALE,
+    )
+    rows = {(row[0], row[1]): row for row in result.rows}
+    for mix in ("read_heavy", "read_only", "update_heavy"):
+        c3_p99 = rows[(mix, "C3")][5]
+        ds_p99 = rows[(mix, "DS")][5]
+        # Paper shape: C3 improves the tail for every workload mix.
+        assert c3_p99 < ds_p99
+        # And does not sacrifice the median (allowing a small tolerance).
+        assert rows[(mix, "C3")][3] <= rows[(mix, "DS")][3] * 1.15

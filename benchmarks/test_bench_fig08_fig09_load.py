@@ -1,0 +1,24 @@
+"""Benchmarks regenerating Figures 8 and 9 — load conditioning and load-vs-time."""
+
+from repro.experiments.common import ClusterScale
+
+SCALE = ClusterScale(num_nodes=15, num_generators=60, duration_ms=2_000.0, seed=5)
+
+
+def test_bench_fig08_load_conditioning(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "fig08", strategies=("C3", "DS"), mixes=("read_heavy",), scale=SCALE
+    )
+    rows = {(row[0], row[1]): row for row in result.rows}
+    c3 = rows[("read_heavy", "C3")]
+    ds = rows[("read_heavy", "DS")]
+    # Paper shape: the hottest node under C3 has a smaller p99-minus-median
+    # spread in its per-window load than under DS.
+    assert c3[5] <= ds[5]
+
+
+def test_bench_fig09_load_timeseries(run_experiment_benchmark):
+    result = run_experiment_benchmark("fig09", strategies=("C3", "DS"), scale=SCALE)
+    rows = {row[0]: row for row in result.rows}
+    # Paper shape: C3's per-node load profile is smoother (lower Fano factor).
+    assert rows["C3"][5] < rows["DS"][5]

@@ -1,0 +1,31 @@
+"""Benchmarks regenerating Figures 10 and 11 — higher load and dynamic workloads."""
+
+from repro.experiments.common import ClusterScale
+
+SCALE = ClusterScale(num_nodes=15, num_generators=60, duration_ms=2_000.0, seed=6)
+
+
+def test_bench_fig10_higher_utilisation(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "fig10", strategies=("C3", "DS"), base_generators=60, load_increase=0.75, scale=SCALE
+    )
+    degradation = {(row[0], row[1]): row[4] for row in result.rows}
+    # Paper shape: DS's p99 degrades at least as badly as C3's under +75% load.
+    assert degradation[("DS", "p99")] >= degradation[("C3", "p99")] - 25.0
+
+
+def test_bench_fig11_dynamic_workload(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "fig11",
+        strategies=("C3", "DS"),
+        read_generators=40,
+        joining_generators=20,
+        scale=SCALE,
+    )
+    rows = {row[0]: row for row in result.rows}
+    for strategy in ("C3", "DS"):
+        # Both systems serve the read-heavy generators before and after the join.
+        assert rows[strategy][1] > 0 and rows[strategy][2] > 0
+    # Paper shape: C3 degrades gracefully — its worst smoothed latency after
+    # the join stays below DS's.
+    assert rows["C3"][5] <= rows["DS"][5] * 1.25

@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 13 — sending-rate adaptation trace."""
+
+
+def test_bench_fig13_rate_adaptation(run_experiment_benchmark):
+    result = run_experiment_benchmark("fig13")
+    observer_rows = [row for row in result.rows if str(row[0]).startswith("coordinator")]
+    # Both observing coordinators adapted their rates during the run.
+    assert all(row[1] > 0 for row in observer_rows)          # increases happened
+    assert any(row[2] > 0 for row in observer_rows)          # decreases happened
+    # At least one coordinator decreased its rate around the degradation episodes.
+    assert any(row[3] > 0 for row in observer_rows)

@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 14 — p99 vs service-time fluctuation interval."""
+
+INTERVALS = (10.0, 100.0, 500.0)
+
+
+def test_bench_fig14_fluctuation_sweep(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "fig14",
+        strategies=("ORA", "C3", "LOR", "RR"),
+        intervals_ms=INTERVALS,
+        utilizations=(0.7, 0.45),
+        client_counts=(40,),
+        num_servers=10,
+        num_requests=15_000,
+        seeds=(0,),
+    )
+    data = result.data
+    # Paper shape at the longest fluctuation interval and high utilisation:
+    # the oracle is best, C3 tracks it, LOR and RR trail behind.
+    key = lambda strategy: data[(0.7, 40, 500.0, strategy)]["p99"]
+    assert key("C3") < key("LOR")
+    assert key("C3") < key("RR")
+    assert key("ORA") <= key("C3")
+    # At the shortest interval (stale feedback) the schemes converge: C3 is
+    # within a factor ~2 of LOR rather than far ahead.
+    short = lambda strategy: data[(0.7, 40, 10.0, strategy)]["p99"]
+    assert short("C3") < short("LOR") * 2.0

@@ -1,0 +1,19 @@
+"""Benchmark regenerating Figure 15 — p99 under heavy client demand skews."""
+
+
+def test_bench_fig15_demand_skew(run_experiment_benchmark):
+    result = run_experiment_benchmark(
+        "fig15",
+        strategies=("ORA", "C3", "LOR", "RR"),
+        skews=(0.2, 0.5),
+        intervals_ms=(500.0,),
+        num_clients=40,
+        num_servers=10,
+        num_requests=15_000,
+        seeds=(0,),
+    )
+    data = result.data
+    for skew in (0.2, 0.5):
+        # Paper shape: regardless of the demand skew, C3 outperforms LOR and RR.
+        assert data[(skew, 500.0, "C3")] < data[(skew, 500.0, "LOR")]
+        assert data[(skew, 500.0, "C3")] < data[(skew, 500.0, "RR")]

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Cassandra-like cluster: C3 vs Dynamic Snitching on a YCSB-style workload.
+
+Reproduces the §5 setup at laptop scale: a 15-node cluster (token ring,
+RF = 3, spinning-disk storage model, background compactions and GC pauses)
+driven by closed-loop YCSB-style generators with a Zipfian key popularity.
+It prints the latency profile and throughput for both snitching strategies —
+the comparison behind Figures 6 and 7 of the paper.
+
+Run with::
+
+    python examples/cassandra_cluster_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_comparison
+from repro.cluster import ClusterConfig, run_cluster
+
+
+def run_one(strategy: str, workload_mix: str) -> dict:
+    config = ClusterConfig(
+        num_nodes=15,
+        num_generators=60,          # paper: 120 YCSB generator threads
+        duration_ms=2_000.0,        # paper: 10 M operations per measurement
+        workload_mix=workload_mix,  # read_heavy / read_only / update_heavy
+        disk="hdd",
+        strategy=strategy,
+        seed=7,
+    )
+    result = run_cluster(config)
+    summary = result.read_summary.as_dict()
+    summary["throughput"] = result.throughput_rps
+    return summary
+
+
+def main() -> None:
+    for mix in ("read_heavy", "update_heavy"):
+        ds = run_one("DS", mix)
+        c3 = run_one("C3", mix)
+        print()
+        print(
+            format_comparison(
+                "DS",
+                ds,
+                "C3",
+                c3,
+                columns=("mean", "median", "p95", "p99", "p99.9", "throughput"),
+                title=f"Workload: {mix} (read latencies in ms, throughput in ops/s)",
+            )
+        )
+    print()
+    print(
+        "Expected shape (paper, Figures 6-7): C3 improves the mean, median and "
+        "tail latencies for every workload mix — up to ~3x at the 99.9th "
+        "percentile — while raising read throughput by 26-50%."
+    )
+
+
+if __name__ == "__main__":
+    main()

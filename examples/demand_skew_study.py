@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Demand-skew study: a few clients generate most of the load (Figure 15).
+
+20 % (or 50 %) of the clients generate 80 % of the requests.  C3's
+concurrency compensation makes heavy clients project larger queue estimates
+for the servers they hammer, so they naturally back off — keeping the tail
+low without any coordination between clients.
+
+Run with::
+
+    python examples/demand_skew_study.py
+"""
+
+from __future__ import annotations
+
+from repro import DemandSkew, SimulationConfig, run_simulation
+from repro.analysis import format_table
+
+
+def main() -> None:
+    rows = []
+    for client_fraction in (0.2, 0.5):
+        skew = DemandSkew(client_fraction=client_fraction, demand_fraction=0.8)
+        for strategy in ("ORA", "C3", "LOR", "RR"):
+            config = SimulationConfig(
+                num_servers=30,
+                num_clients=90,
+                num_requests=6_000,
+                utilization=0.7,
+                fluctuation_interval_ms=200.0,
+                demand_skew=skew,
+                strategy=strategy,
+                seed=13,
+            )
+            summary = run_simulation(config).summary
+            rows.append(
+                [
+                    f"{int(client_fraction * 100)}% of clients -> 80% of load",
+                    strategy,
+                    summary.median,
+                    summary.p99,
+                    summary.p999,
+                ]
+            )
+    print(
+        format_table(
+            ["demand skew", "strategy", "median (ms)", "p99 (ms)", "p99.9 (ms)"],
+            rows,
+            title="Latency under skewed client demand (Figure 15 scenario)",
+        )
+    )
+    print()
+    print(
+        "Expected shape: regardless of the skew, C3 outperforms LOR and the "
+        "rate-limited round-robin baseline and stays close to the oracle."
+    )
+
+
+if __name__ == "__main__":
+    main()

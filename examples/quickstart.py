@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: compare C3 against Least-Outstanding-Requests in the simulator.
+
+This is the smallest end-to-end use of the library: configure a flat
+replica-selection simulation (the §6 setup of the paper), run it for a few
+strategies, and print the latency profile each one achieves.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_simulation
+from repro.analysis import format_summary_rows
+
+
+def main() -> None:
+    strategies = ["ORA", "C3", "LOR", "RR"]
+    summaries = {}
+    for strategy in strategies:
+        config = SimulationConfig(
+            num_servers=30,
+            num_clients=90,
+            num_requests=8_000,
+            utilization=0.7,
+            fluctuation_interval_ms=200.0,   # servers change speed every 200 ms
+            strategy=strategy,
+            seed=42,
+        )
+        result = run_simulation(config)
+        summaries[strategy] = result.summary.as_dict()
+        print(
+            f"{strategy:4s}: completed {result.completed_requests} requests, "
+            f"throughput {result.throughput_rps:,.0f} req/s, "
+            f"backpressure events {result.backpressure_events}"
+        )
+
+    print()
+    print(
+        format_summary_rows(
+            summaries,
+            columns=("mean", "median", "p95", "p99", "p99.9"),
+            title="Latency profile (ms) per replica-selection strategy",
+        )
+    )
+    print()
+    print(
+        "Expected shape (paper, Figure 14): the oracle (ORA) is the lower bound, "
+        "C3 tracks it closely, and LOR / rate-limited round-robin trail behind, "
+        "especially in the tail."
+    )
+
+
+if __name__ == "__main__":
+    main()

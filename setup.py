@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+only so that ``pip install -e .`` works on environments without the ``wheel``
+package (legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

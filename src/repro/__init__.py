@@ -1,0 +1,61 @@
+"""repro — a reproduction of *C3: Cutting Tail Latency in Cloud Data Stores
+via Adaptive Replica Selection* (Suresh et al., NSDI 2015).
+
+The package is organised as:
+
+* :mod:`repro.core`        — the C3 algorithm itself (ranking, rate control,
+  backpressure, scheduling), usable standalone.
+* :mod:`repro.strategies`  — C3 plus every baseline selector (LOR, RR, ORA,
+  Dynamic Snitching, …) behind one interface.
+* :mod:`repro.simulator`   — the flat discrete-event simulator of §6.
+* :mod:`repro.cluster`     — a Cassandra-like cluster substrate for the §2/§5
+  experiments (token ring, coordinators, disks, gossip, snitching).
+* :mod:`repro.workloads`   — YCSB-style workload generation.
+* :mod:`repro.analysis`    — percentiles, ECDFs, oscillation metrics, reports.
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from .core import (
+    C3Config,
+    C3Scheduler,
+    CubicRateController,
+    EWMA,
+    ReplicaScorer,
+    ScheduleDecision,
+    ServerFeedback,
+    cubic_rate,
+    cubic_score,
+)
+from .simulator import (
+    DemandSkew,
+    ReplicaSelectionSimulation,
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+)
+from .strategies import STRATEGY_NAMES, make_selector
+from .analysis import LatencySummary, summarize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "C3Config",
+    "C3Scheduler",
+    "CubicRateController",
+    "DemandSkew",
+    "EWMA",
+    "LatencySummary",
+    "ReplicaScorer",
+    "ReplicaSelectionSimulation",
+    "STRATEGY_NAMES",
+    "ScheduleDecision",
+    "ServerFeedback",
+    "SimulationConfig",
+    "SimulationResult",
+    "cubic_rate",
+    "cubic_score",
+    "make_selector",
+    "run_simulation",
+    "summarize",
+    "__version__",
+]

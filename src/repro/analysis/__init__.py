@@ -1,0 +1,28 @@
+"""Analysis helpers: percentiles, ECDFs, time series and oscillation metrics."""
+
+from .ecdf import ECDF, ecdf
+from .oscillation import LoadConditioningReport, burstiness, load_conditioning, oscillation_score
+from .percentiles import LatencySummary, percentile, summarize, tail_to_median_ratio
+from .report import format_comparison, format_summary_rows, format_table, indent
+from .timeseries import downsample, moving_average, moving_median, window_counts
+
+__all__ = [
+    "ECDF",
+    "LatencySummary",
+    "LoadConditioningReport",
+    "burstiness",
+    "downsample",
+    "ecdf",
+    "format_comparison",
+    "format_summary_rows",
+    "format_table",
+    "indent",
+    "load_conditioning",
+    "moving_average",
+    "moving_median",
+    "oscillation_score",
+    "percentile",
+    "summarize",
+    "tail_to_median_ratio",
+    "window_counts",
+]

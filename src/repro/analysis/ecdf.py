@@ -1,0 +1,53 @@
+"""Empirical cumulative distribution functions (Figures 6 and 8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["ECDF", "ecdf"]
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """An empirical CDF: sorted sample values and cumulative probabilities."""
+
+    values: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.values.shape != self.probabilities.shape:
+            raise ValueError("values and probabilities must have the same shape")
+
+    def evaluate(self, x: float) -> float:
+        """P(X <= x) under the empirical distribution."""
+        if self.values.size == 0:
+            return 0.0
+        return float(np.searchsorted(self.values, x, side="right") / self.values.size)
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (q in [0, 1]) of the empirical distribution."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.values.size == 0:
+            return 0.0
+        idx = min(self.values.size - 1, int(np.ceil(q * self.values.size)) - 1)
+        return float(self.values[max(idx, 0)])
+
+    def tail_table(self, probabilities: Sequence[float] = (0.5, 0.95, 0.99, 0.999)) -> dict:
+        """Quantiles at the requested probabilities (for report rows)."""
+        return {p: self.quantile(p) for p in probabilities}
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+
+def ecdf(samples: Iterable[float] | np.ndarray) -> ECDF:
+    """Build the ECDF of a sample set."""
+    arr = np.sort(np.asarray(list(samples) if not isinstance(samples, np.ndarray) else samples, dtype=float))
+    if arr.size == 0:
+        return ECDF(values=arr, probabilities=arr.copy())
+    probs = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return ECDF(values=arr, probabilities=probs)

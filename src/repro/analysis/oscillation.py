@@ -1,0 +1,96 @@
+"""Load-oscillation / load-conditioning metrics (Figures 2, 8 and 9).
+
+The paper characterises Dynamic Snitching's herd behaviour by looking at the
+number of reads served per 100 ms window by the most heavily utilised node:
+under DS that series swings between 0 and ~500 (synchronised bursts), while
+C3 keeps it in a narrow band.  These helpers quantify that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LoadConditioningReport", "load_conditioning", "oscillation_score", "burstiness"]
+
+
+@dataclass(frozen=True, slots=True)
+class LoadConditioningReport:
+    """Summary of a per-window load series for one node."""
+
+    windows: int
+    mean: float
+    median: float
+    p99: float
+    maximum: float
+    minimum: float
+    spread_p99_median: float
+    coefficient_of_variation: float
+    zero_fraction: float
+
+    def as_dict(self) -> dict:
+        return {
+            "windows": self.windows,
+            "mean": self.mean,
+            "median": self.median,
+            "p99": self.p99,
+            "max": self.maximum,
+            "min": self.minimum,
+            "p99_minus_median": self.spread_p99_median,
+            "cv": self.coefficient_of_variation,
+            "zero_fraction": self.zero_fraction,
+        }
+
+
+def load_conditioning(series: Sequence[float] | np.ndarray) -> LoadConditioningReport:
+    """Summarise a per-window load series (requests served per window)."""
+    arr = np.asarray(series, dtype=float)
+    if arr.size == 0:
+        return LoadConditioningReport(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    mean = float(arr.mean())
+    median = float(np.median(arr))
+    p99 = float(np.percentile(arr, 99))
+    cv = float(arr.std() / mean) if mean > 0 else 0.0
+    return LoadConditioningReport(
+        windows=int(arr.size),
+        mean=mean,
+        median=median,
+        p99=p99,
+        maximum=float(arr.max()),
+        minimum=float(arr.min()),
+        spread_p99_median=p99 - median,
+        coefficient_of_variation=cv,
+        zero_fraction=float(np.mean(arr == 0)),
+    )
+
+
+def oscillation_score(series: Sequence[float] | np.ndarray) -> float:
+    """A scalar oscillation indicator: mean absolute window-to-window swing,
+    normalised by the series mean.  Synchronised herd behaviour produces
+    values well above 1; a smooth load profile stays below ~0.5.
+    """
+    arr = np.asarray(series, dtype=float)
+    if arr.size < 2:
+        return 0.0
+    mean = arr.mean()
+    if mean <= 0:
+        return 0.0
+    swings = np.abs(np.diff(arr))
+    return float(swings.mean() / mean)
+
+
+def burstiness(series: Sequence[float] | np.ndarray) -> float:
+    """The Fano factor (variance / mean) of the per-window counts.
+
+    A Poisson-like smooth load has a Fano factor near 1; synchronised
+    oscillations inflate it substantially.
+    """
+    arr = np.asarray(series, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    mean = arr.mean()
+    if mean <= 0:
+        return 0.0
+    return float(arr.var() / mean)

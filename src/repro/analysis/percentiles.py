@@ -1,0 +1,101 @@
+"""Percentile and summary statistics used across experiments and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["LatencySummary", "summarize", "percentile", "tail_to_median_ratio"]
+
+_DEFAULT_PERCENTILES = (50.0, 95.0, 99.0, 99.9)
+
+
+def percentile(samples: Sequence[float] | np.ndarray, q: float) -> float:
+    """The ``q``-th percentile of ``samples`` (0 for an empty sample set)."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySummary:
+    """The latency metrics the paper reports: mean, median, p95, p99, p99.9."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    p999: float
+    minimum: float
+    maximum: float
+    std: float
+
+    @property
+    def tail_span(self) -> float:
+        """p99.9 − median, the "difference" metric quoted in §5."""
+        return self.p999 - self.median
+
+    @property
+    def tail_ratio(self) -> float:
+        """p99.9 / median (∞-safe: 0 when the median is 0)."""
+        if self.median <= 0:
+            return 0.0
+        return self.p999 / self.median
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the report formatter."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "p95": self.p95,
+            "p99": self.p99,
+            "p99.9": self.p999,
+            "min": self.minimum,
+            "max": self.maximum,
+            "std": self.std,
+            "tail_span": self.tail_span,
+            "tail_ratio": self.tail_ratio,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f}ms median={self.median:.2f}ms "
+            f"p95={self.p95:.2f}ms p99={self.p99:.2f}ms p99.9={self.p999:.2f}ms"
+        )
+
+
+def summarize(samples: Iterable[float] | np.ndarray) -> LatencySummary:
+    """Compute the standard latency summary for a sample set."""
+    arr = np.asarray(list(samples) if not isinstance(samples, np.ndarray) else samples, dtype=float)
+    if arr.size == 0:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    p50, p95, p99, p999 = (float(np.percentile(arr, q)) for q in _DEFAULT_PERCENTILES)
+    return LatencySummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=p50,
+        p95=p95,
+        p99=p99,
+        p999=p999,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        std=float(arr.std()),
+    )
+
+
+def tail_to_median_ratio(samples: Sequence[float] | np.ndarray, q: float = 99.9) -> float:
+    """Ratio between the ``q``-th percentile and the median of ``samples``."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        return 0.0
+    med = float(np.percentile(arr, 50.0))
+    if med <= 0:
+        return 0.0
+    return float(np.percentile(arr, q)) / med

@@ -1,0 +1,78 @@
+"""Plain-text report tables used by the experiment harness.
+
+Every experiment prints its results as fixed-width tables so the benchmark
+harness output can be compared side-by-side with the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_summary_rows", "format_comparison", "indent"]
+
+
+def _format_cell(value, precision: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width text table."""
+    rendered_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_summary_rows(
+    summaries: Mapping[str, Mapping[str, float]],
+    columns: Sequence[str] = ("mean", "median", "p95", "p99", "p99.9"),
+    label: str = "strategy",
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render one row per strategy/scenario from latency-summary dicts."""
+    headers = [label, *columns]
+    rows = [[name, *[summary.get(col, 0.0) for col in columns]] for name, summary in summaries.items()]
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def format_comparison(
+    baseline_name: str,
+    baseline: Mapping[str, float],
+    candidate_name: str,
+    candidate: Mapping[str, float],
+    columns: Sequence[str] = ("mean", "median", "p95", "p99", "p99.9"),
+    precision: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render a baseline-vs-candidate comparison with improvement factors."""
+    headers = ["metric", baseline_name, candidate_name, f"{baseline_name}/{candidate_name}"]
+    rows = []
+    for col in columns:
+        base_val = float(baseline.get(col, 0.0))
+        cand_val = float(candidate.get(col, 0.0))
+        ratio = base_val / cand_val if cand_val > 0 else float("inf")
+        rows.append([col, base_val, cand_val, ratio])
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def indent(text: str, prefix: str = "  ") -> str:
+    """Indent every line of ``text`` by ``prefix``."""
+    return "\n".join(prefix + line for line in text.splitlines())

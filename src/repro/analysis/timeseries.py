@@ -1,0 +1,80 @@
+"""Time-series helpers: windowed aggregation and moving medians.
+
+The paper smooths latency time-series with a 50-sample moving median
+(Figure 11) because a moving median reveals the underlying trend of a
+high-variance series better than a moving average.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["moving_median", "moving_average", "window_counts", "downsample"]
+
+
+def moving_median(samples: Sequence[float] | np.ndarray, window: int = 50) -> np.ndarray:
+    """Centered-start moving median with the given window length.
+
+    The first ``window - 1`` outputs use the samples seen so far (expanding
+    window), after which a fixed trailing window is used — matching how a
+    streaming monitor would compute it.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if arr.size == 0:
+        return arr.copy()
+    out = np.empty_like(arr)
+    for i in range(arr.size):
+        start = max(0, i - window + 1)
+        out[i] = np.median(arr[start : i + 1])
+    return out
+
+
+def moving_average(samples: Sequence[float] | np.ndarray, window: int = 50) -> np.ndarray:
+    """Trailing moving average with an expanding warm-up, same shape as input."""
+    arr = np.asarray(samples, dtype=float)
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    if arr.size == 0:
+        return arr.copy()
+    out = np.empty_like(arr)
+    cumsum = np.cumsum(arr)
+    for i in range(arr.size):
+        start = max(0, i - window + 1)
+        total = cumsum[i] - (cumsum[start - 1] if start > 0 else 0.0)
+        out[i] = total / (i - start + 1)
+    return out
+
+
+def window_counts(
+    timestamps: Iterable[float] | np.ndarray,
+    window_ms: float = 100.0,
+    horizon_ms: float | None = None,
+) -> np.ndarray:
+    """Histogram event timestamps into fixed windows (events per window)."""
+    if window_ms <= 0:
+        raise ValueError("window_ms must be positive")
+    arr = np.asarray(list(timestamps) if not isinstance(timestamps, np.ndarray) else timestamps, dtype=float)
+    if arr.size == 0:
+        if horizon_ms is None:
+            return np.zeros(0, dtype=int)
+        return np.zeros(int(np.ceil(horizon_ms / window_ms)), dtype=int)
+    end = arr.max() if horizon_ms is None else max(arr.max(), horizon_ms)
+    n_windows = int(np.floor(end / window_ms)) + 1
+    idx = np.minimum((arr // window_ms).astype(int), n_windows - 1)
+    counts = np.bincount(idx, minlength=n_windows)
+    return counts
+
+
+def downsample(samples: Sequence[float] | np.ndarray, max_points: int = 1000) -> np.ndarray:
+    """Uniformly subsample a long series down to at most ``max_points``."""
+    arr = np.asarray(samples, dtype=float)
+    if max_points < 1:
+        raise ValueError("max_points must be >= 1")
+    if arr.size <= max_points:
+        return arr.copy()
+    idx = np.linspace(0, arr.size - 1, max_points).astype(int)
+    return arr[idx]

@@ -1,0 +1,132 @@
+"""Command-line interface: ``c3-repro`` / ``python -m repro``.
+
+Sub-commands
+------------
+
+``list``
+    List every registered experiment with its description.
+``run <experiment-id> [...]``
+    Run one experiment and print its report table.
+``simulate``
+    Run a single flat-simulator scenario with explicit parameters.
+``cluster``
+    Run a single cluster scenario with explicit parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import __version__
+from .analysis.report import format_table
+from .cluster import ClusterConfig, run_cluster
+from .experiments import list_experiments, registry, run_experiment
+from .simulator import SimulationConfig, run_simulation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="c3-repro",
+        description="Reproduction of C3: adaptive replica selection (NSDI 2015)",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    sub = parser.add_subparsers(dest="command")
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one experiment by id")
+    run_parser.add_argument("experiment_id", help="experiment id (see `c3-repro list`)")
+
+    sim_parser = sub.add_parser("simulate", help="run one flat-simulator scenario")
+    sim_parser.add_argument("--strategy", default="C3")
+    sim_parser.add_argument("--servers", type=int, default=50)
+    sim_parser.add_argument("--clients", type=int, default=150)
+    sim_parser.add_argument("--requests", type=int, default=10_000)
+    sim_parser.add_argument("--utilization", type=float, default=0.7)
+    sim_parser.add_argument("--interval", type=float, default=100.0, help="fluctuation interval (ms)")
+    sim_parser.add_argument("--seed", type=int, default=0)
+
+    cluster_parser = sub.add_parser("cluster", help="run one cluster scenario")
+    cluster_parser.add_argument("--strategy", default="C3")
+    cluster_parser.add_argument("--nodes", type=int, default=15)
+    cluster_parser.add_argument("--generators", type=int, default=60)
+    cluster_parser.add_argument("--duration", type=float, default=2_000.0, help="duration (ms)")
+    cluster_parser.add_argument("--mix", default="read_heavy", choices=["read_heavy", "read_only", "update_heavy"])
+    cluster_parser.add_argument("--disk", default="hdd", choices=["hdd", "ssd"])
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    rows = [[experiment_id, registry.describe(experiment_id)] for experiment_id in list_experiments()]
+    print(format_table(["experiment", "description"], rows))
+    return 0
+
+
+def _cmd_run(experiment_id: str) -> int:
+    result = run_experiment(experiment_id)
+    print(result.to_text())
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = SimulationConfig(
+        num_servers=args.servers,
+        num_clients=args.clients,
+        num_requests=args.requests,
+        utilization=args.utilization,
+        fluctuation_interval_ms=args.interval,
+        strategy=args.strategy,
+        seed=args.seed,
+    )
+    result = run_simulation(config)
+    summary = result.summary
+    rows = [[args.strategy, summary.mean, summary.median, summary.p95, summary.p99, summary.p999, result.throughput_rps]]
+    print(format_table(["strategy", "mean", "median", "p95", "p99", "p99.9", "throughput (req/s)"], rows))
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    config = ClusterConfig(
+        num_nodes=args.nodes,
+        num_generators=args.generators,
+        duration_ms=args.duration,
+        workload_mix=args.mix,
+        disk=args.disk,
+        strategy=args.strategy,
+        seed=args.seed,
+    )
+    result = run_cluster(config)
+    summary = result.read_summary
+    rows = [[args.strategy, args.mix, summary.mean, summary.median, summary.p95, summary.p99, summary.p999, result.throughput_rps]]
+    print(
+        format_table(
+            ["strategy", "workload", "mean", "median", "p95", "p99", "p99.9", "throughput (ops/s)"], rows
+        )
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args.experiment_id)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""A Cassandra-like cluster substrate for the paper's §2/§5 experiments."""
+
+from .cluster import CassandraCluster, ClusterConfig, GeneratorGroup, run_cluster
+from .coordinator import Coordinator, SpeculativeRetryPolicy
+from .disk import DiskModel, DiskProfile, HDD_PROFILE, SSD_PROFILE
+from .events import CompactionProcess, GCPauseProcess
+from .gossip import GossipEntry, GossipService
+from .metrics import ClusterMetrics, OperationSample
+from .node import ClusterNode
+from .ring import TokenRing
+from .storage import StorageEngine
+from .workload_bridge import ClosedLoopGenerator
+
+__all__ = [
+    "CassandraCluster",
+    "ClosedLoopGenerator",
+    "ClusterConfig",
+    "ClusterMetrics",
+    "ClusterNode",
+    "CompactionProcess",
+    "Coordinator",
+    "DiskModel",
+    "DiskProfile",
+    "GCPauseProcess",
+    "GeneratorGroup",
+    "GossipEntry",
+    "GossipService",
+    "HDD_PROFILE",
+    "OperationSample",
+    "SSD_PROFILE",
+    "SpeculativeRetryPolicy",
+    "StorageEngine",
+    "TokenRing",
+    "run_cluster",
+]

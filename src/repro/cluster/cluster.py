@@ -1,0 +1,301 @@
+"""Cluster assembly: a Cassandra-like deployment on the event-loop substrate.
+
+:class:`ClusterConfig` describes one deployment + workload scenario (number
+of nodes, disk type, snitching strategy, generator groups, background
+maintenance, …) and :class:`CassandraCluster` wires everything together and
+runs it: token ring, storage nodes, coordinators with their selectors,
+gossip, compaction and GC processes, and closed-loop YCSB generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Hashable
+
+import numpy as np
+
+from ..core.config import C3Config
+from ..simulator.engine import EventLoop
+from ..simulator.network import ConstantLatency, NetworkModel
+from ..simulator.metrics import SimulationResult
+from ..simulator.request import Request
+from ..strategies import make_selector
+from ..workloads.records import FixedRecordSize, ZipfSkewedRecordSize
+from ..workloads.ycsb import YCSBWorkload
+from .coordinator import Coordinator, SpeculativeRetryPolicy
+from .disk import DiskProfile, HDD_PROFILE, SSD_PROFILE
+from .events import CompactionProcess, GCPauseProcess
+from .gossip import GossipService
+from .metrics import ClusterMetrics
+from .node import ClusterNode
+from .ring import TokenRing
+from .storage import StorageEngine
+from .workload_bridge import ClosedLoopGenerator
+
+__all__ = ["GeneratorGroup", "ClusterConfig", "CassandraCluster", "run_cluster"]
+
+
+@dataclass(slots=True)
+class GeneratorGroup:
+    """A group of identically-configured closed-loop generators.
+
+    Attributes
+    ----------
+    count:
+        Number of generator "threads" in the group.
+    mix:
+        Workload mix name (``read_heavy`` / ``update_heavy`` / ``read_only``).
+    start_at_ms:
+        When the group starts issuing (used by the Figure 11 experiment where
+        update-heavy generators join an already-running read-heavy workload).
+    label:
+        Label attached to the group's operations (defaults to the mix name).
+    skewed_record_sizes:
+        When True, record sizes follow the Zipf-skewed model instead of fixed
+        1 KB records (the §5 "skewed record sizes" experiment).
+    """
+
+    count: int
+    mix: str = "read_heavy"
+    start_at_ms: float = 0.0
+    label: str = ""
+    skewed_record_sizes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.start_at_ms < 0:
+            raise ValueError("start_at_ms must be non-negative")
+        if not self.label:
+            self.label = self.mix
+
+
+@dataclass(slots=True)
+class ClusterConfig:
+    """Parameters of one cluster run (scaled-down §5 deployment by default)."""
+
+    num_nodes: int = 15
+    replication_factor: int = 3
+    disk: str = "hdd"
+    cache_hit_probability: float = 0.1
+    node_concurrency: int = 8
+    strategy: str = "C3"
+    c3_config: C3Config | None = None
+    num_generators: int = 40
+    workload_mix: str = "read_heavy"
+    generator_groups: list[GeneratorGroup] | None = None
+    duration_ms: float = 2_000.0
+    drain_timeout_ms: float = 10_000.0
+    num_keys: int = 10_000
+    zipf_theta: float = 0.99
+    read_repair_probability: float = 0.1
+    speculative_retry_percentile: float | None = None
+    network_delay_ms: float = 0.25
+    gossip_interval_ms: float = 1_000.0
+    compaction_enabled: bool = True
+    compaction_interarrival_ms: float = 15_000.0
+    compaction_duration_ms: float = 1_500.0
+    gc_enabled: bool = True
+    gc_interarrival_ms: float = 8_000.0
+    gc_pause_ms: float = 100.0
+    window_ms: float = 100.0
+    record_rate_history: bool = False
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < self.replication_factor:
+            raise ValueError("num_nodes must be >= replication_factor")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.num_generators < 1 and not self.generator_groups:
+            raise ValueError("need at least one generator")
+        if self.disk not in ("hdd", "ssd"):
+            raise ValueError("disk must be 'hdd' or 'ssd'")
+
+    @property
+    def disk_profile(self) -> DiskProfile:
+        """The configured disk profile."""
+        return HDD_PROFILE if self.disk == "hdd" else SSD_PROFILE
+
+    def groups(self) -> list[GeneratorGroup]:
+        """The generator groups (a single default group when none given)."""
+        if self.generator_groups:
+            return list(self.generator_groups)
+        return [GeneratorGroup(count=self.num_generators, mix=self.workload_mix)]
+
+    def copy(self, **overrides) -> "ClusterConfig":
+        """A copy of this config with ``overrides`` applied."""
+        return replace(self, **overrides)
+
+
+class CassandraCluster:
+    """Builds and runs one cluster scenario."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.loop = EventLoop()
+        self.rng = np.random.default_rng(config.seed)
+        self.metrics = ClusterMetrics(window_ms=config.window_ms)
+        self.network: NetworkModel = ConstantLatency(config.network_delay_ms)
+
+        self.node_ids = list(range(config.num_nodes))
+        self.ring = TokenRing(self.node_ids, config.replication_factor)
+        self.gossip = GossipService(self.loop, interval_ms=config.gossip_interval_ms)
+        self.nodes: dict[Hashable, ClusterNode] = {}
+        self.coordinators: dict[Hashable, Coordinator] = {}
+        self.generators: list[ClosedLoopGenerator] = []
+        self.compaction: CompactionProcess | None = None
+        self.gc: GCPauseProcess | None = None
+        self._build()
+
+    # ------------------------------------------------------------------ assembly
+    def _build(self) -> None:
+        cfg = self.config
+        for node_id in self.node_ids:
+            storage = StorageEngine(
+                profile=cfg.disk_profile,
+                cache_hit_probability=cfg.cache_hit_probability,
+                rng=np.random.default_rng(self.rng.integers(2**63)),
+            )
+            node = ClusterNode(
+                loop=self.loop,
+                node_id=node_id,
+                storage=storage,
+                concurrency=cfg.node_concurrency,
+                on_complete=self._route_response,
+                rng=np.random.default_rng(self.rng.integers(2**63)),
+            )
+            self.nodes[node_id] = node
+            self.gossip.register(node_id, lambda n=node: n.iowait)
+
+        c3_config = cfg.c3_config or C3Config().with_clients(cfg.num_nodes)
+        spec_policy = None
+        for node_id in self.node_ids:
+            selector = make_selector(
+                cfg.strategy,
+                config=c3_config,
+                rng=np.random.default_rng(self.rng.integers(2**63)),
+                server_state_fn=self._node_state,
+                iowait_fn=self.gossip.latest_iowait,
+                record_rate_history=cfg.record_rate_history,
+            )
+            if cfg.speculative_retry_percentile is not None:
+                spec_policy = SpeculativeRetryPolicy(percentile=cfg.speculative_retry_percentile)
+            coordinator = Coordinator(
+                loop=self.loop,
+                node_id=node_id,
+                ring=self.ring,
+                selector=selector,
+                nodes=self.nodes,
+                network=self.network,
+                metrics=self.metrics,
+                read_repair_probability=cfg.read_repair_probability,
+                speculative_retry=spec_policy if cfg.speculative_retry_percentile is not None else None,
+                rng=np.random.default_rng(self.rng.integers(2**63)),
+            )
+            spec_policy = None
+            self.coordinators[node_id] = coordinator
+
+        self._build_generators()
+
+        if cfg.compaction_enabled:
+            self.compaction = CompactionProcess(
+                loop=self.loop,
+                nodes=list(self.nodes.values()),
+                mean_interarrival_ms=cfg.compaction_interarrival_ms,
+                mean_duration_ms=cfg.compaction_duration_ms,
+                rng=np.random.default_rng(self.rng.integers(2**63)),
+            )
+        if cfg.gc_enabled:
+            self.gc = GCPauseProcess(
+                loop=self.loop,
+                nodes=list(self.nodes.values()),
+                mean_interarrival_ms=cfg.gc_interarrival_ms,
+                mean_pause_ms=cfg.gc_pause_ms,
+                rng=np.random.default_rng(self.rng.integers(2**63)),
+            )
+
+    def _build_generators(self) -> None:
+        cfg = self.config
+        generator_id = 0
+        for group in cfg.groups():
+            for _ in range(group.count):
+                record_sizes = (
+                    ZipfSkewedRecordSize(rng=np.random.default_rng(self.rng.integers(2**63)))
+                    if group.skewed_record_sizes
+                    else FixedRecordSize(1024)
+                )
+                workload = YCSBWorkload(
+                    mix=group.mix,
+                    num_keys=cfg.num_keys,
+                    zipf_theta=cfg.zipf_theta,
+                    record_sizes=record_sizes,
+                    rng=np.random.default_rng(self.rng.integers(2**63)),
+                )
+                coordinator = self.coordinators[self.node_ids[generator_id % len(self.node_ids)]]
+                generator = ClosedLoopGenerator(
+                    loop=self.loop,
+                    generator_id=generator_id,
+                    workload=workload,
+                    coordinator=coordinator,
+                    group_label=group.label,
+                    start_at_ms=group.start_at_ms,
+                    stop_issuing_at_ms=cfg.duration_ms,
+                )
+                self.generators.append(generator)
+                generator_id += 1
+
+    # ------------------------------------------------------------------- routing
+    def _route_response(self, request: Request, feedback, service_time: float) -> None:
+        coordinator = self.coordinators[request.client_id]
+        if request.server_id == coordinator.node_id:
+            delay = 0.02
+        else:
+            delay = self.network.one_way_delay(request.server_id, coordinator.node_id)
+        self.loop.schedule(delay, coordinator.on_remote_response, request, feedback, service_time)
+
+    def _node_state(self, node_id: Hashable) -> tuple[float, float]:
+        node = self.nodes[node_id]
+        return (node.pending_requests, node.current_service_time_ms)
+
+    # ----------------------------------------------------------------------- run
+    def pending_operations(self) -> int:
+        """Client operations currently in flight across all coordinators."""
+        return sum(c.pending_operations for c in self.coordinators.values())
+
+    def run(self) -> SimulationResult:
+        """Run the scenario and return the collected metrics."""
+        cfg = self.config
+        self.gossip.start()
+        if self.compaction is not None:
+            self.compaction.start()
+        if self.gc is not None:
+            self.gc.start()
+        for generator in self.generators:
+            generator.start()
+
+        # Main phase: generators issue operations until duration_ms.
+        slice_ms = max(50.0, cfg.window_ms)
+        while self.loop.now < cfg.duration_ms:
+            self.loop.run(until=self.loop.now + slice_ms)
+        # Drain phase: let in-flight operations finish.
+        drain_deadline = cfg.duration_ms + cfg.drain_timeout_ms
+        while self.pending_operations() > 0 and self.loop.now < drain_deadline:
+            self.loop.run(until=self.loop.now + slice_ms)
+
+        duration = self.loop.now
+        extra = {
+            "config": cfg,
+            "generators": len(self.generators),
+            "nodes": len(self.nodes),
+            "compactions": self.compaction.compactions_started if self.compaction else 0,
+            "gc_pauses": self.gc.pauses if self.gc else 0,
+            "node_stats": {nid: node.stats() for nid, node in self.nodes.items()},
+        }
+        return self.metrics.result(duration_ms=duration, strategy=cfg.strategy, extra=extra)
+
+
+def run_cluster(config: ClusterConfig) -> SimulationResult:
+    """Convenience helper: build and run a cluster scenario in one call."""
+    return CassandraCluster(config).run()

@@ -1,0 +1,129 @@
+"""Background maintenance events: compactions and GC pauses.
+
+The operators the authors interviewed name periodic SSTable compaction and
+garbage collection as the dominant sources of latency spikes (§2.1).  Both
+are modelled as per-node background processes:
+
+* a **compaction** raises the node's iowait and multiplies its read service
+  times for its duration;
+* a **GC pause** stalls request service entirely for a short interval (the
+  node keeps accepting requests, they just queue up).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..simulator.engine import EventLoop
+
+__all__ = ["CompactionProcess", "GCPauseProcess"]
+
+
+class CompactionProcess:
+    """Poisson-arriving compactions on each node.
+
+    Parameters
+    ----------
+    loop:
+        Event loop.
+    nodes:
+        Objects exposing ``begin_compaction()`` / ``end_compaction()``.
+    mean_interarrival_ms:
+        Mean time between compactions on one node.
+    mean_duration_ms:
+        Mean compaction duration.
+    rng:
+        Random generator.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        nodes: Sequence,
+        mean_interarrival_ms: float = 20_000.0,
+        mean_duration_ms: float = 2_000.0,
+        rng: np.random.Generator | None = None,
+        on_event: Callable[[object, float, float], None] | None = None,
+    ) -> None:
+        if mean_interarrival_ms <= 0 or mean_duration_ms <= 0:
+            raise ValueError("durations must be positive")
+        self.loop = loop
+        self.nodes = list(nodes)
+        self.mean_interarrival_ms = float(mean_interarrival_ms)
+        self.mean_duration_ms = float(mean_duration_ms)
+        self.rng = rng or np.random.default_rng()
+        self.on_event = on_event
+        self.compactions_started = 0
+
+    def start(self) -> None:
+        """Schedule the first compaction on every node."""
+        for node in self.nodes:
+            self._schedule_next(node)
+
+    def _schedule_next(self, node) -> None:
+        gap = float(self.rng.exponential(self.mean_interarrival_ms))
+        self.loop.schedule(gap, self._begin, node)
+
+    def _begin(self, node) -> None:
+        duration = float(self.rng.exponential(self.mean_duration_ms))
+        node.begin_compaction()
+        self.compactions_started += 1
+        if self.on_event is not None:
+            self.on_event(node, self.loop.now, duration)
+        self.loop.schedule(duration, self._end, node)
+
+    def _end(self, node) -> None:
+        node.end_compaction()
+        self._schedule_next(node)
+
+
+class GCPauseProcess:
+    """Poisson-arriving stop-the-world GC pauses on each node.
+
+    During a pause the node's service is stalled: its storage server is
+    slowed by a large factor (effectively freezing in-service requests), and
+    the pause is short (tens to a couple of hundred milliseconds) but sharp —
+    exactly the sub-second fluctuation C3 must absorb.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        nodes: Sequence,
+        mean_interarrival_ms: float = 10_000.0,
+        mean_pause_ms: float = 120.0,
+        rng: np.random.Generator | None = None,
+        on_event: Callable[[object, float, float], None] | None = None,
+    ) -> None:
+        if mean_interarrival_ms <= 0 or mean_pause_ms <= 0:
+            raise ValueError("durations must be positive")
+        self.loop = loop
+        self.nodes = list(nodes)
+        self.mean_interarrival_ms = float(mean_interarrival_ms)
+        self.mean_pause_ms = float(mean_pause_ms)
+        self.rng = rng or np.random.default_rng()
+        self.on_event = on_event
+        self.pauses = 0
+
+    def start(self) -> None:
+        """Schedule the first pause on every node."""
+        for node in self.nodes:
+            self._schedule_next(node)
+
+    def _schedule_next(self, node) -> None:
+        gap = float(self.rng.exponential(self.mean_interarrival_ms))
+        self.loop.schedule(gap, self._begin, node)
+
+    def _begin(self, node) -> None:
+        pause = float(self.rng.exponential(self.mean_pause_ms))
+        node.begin_gc_pause()
+        self.pauses += 1
+        if self.on_event is not None:
+            self.on_event(node, self.loop.now, pause)
+        self.loop.schedule(pause, self._end, node)
+
+    def _end(self, node) -> None:
+        node.end_gc_pause()
+        self._schedule_next(node)

@@ -1,0 +1,97 @@
+"""Gossiped node health — the iowait signal Dynamic Snitching consumes.
+
+Cassandra nodes gossip one-second averages of their ``iowait`` so that peers
+can avoid nodes that are busy compacting (§2.3).  The model here is a shared
+bus: every node periodically publishes its current iowait fraction and every
+coordinator reads the latest published value when recomputing snitch scores.
+The propagation delay (gossip interval) is exactly what makes the signal
+stale and over-weighted — the weakness the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable
+
+from ..simulator.engine import EventLoop
+
+__all__ = ["GossipEntry", "GossipService"]
+
+
+@dataclass(slots=True)
+class GossipEntry:
+    """The latest gossiped health record for one node."""
+
+    iowait: float = 0.0
+    published_at: float = -float("inf")
+    updates: int = 0
+
+
+class GossipService:
+    """A cluster-wide gossip bus for iowait averages.
+
+    Parameters
+    ----------
+    loop:
+        The event loop (used for the periodic publish timers).
+    interval_ms:
+        How often each node publishes (Cassandra gossips every second).
+    """
+
+    def __init__(self, loop: EventLoop, interval_ms: float = 1000.0) -> None:
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        self.loop = loop
+        self.interval_ms = float(interval_ms)
+        self._entries: dict[Hashable, GossipEntry] = {}
+        self._sources: dict[Hashable, Callable[[], float]] = {}
+        self.total_publishes = 0
+        self._started = False
+
+    # ------------------------------------------------------------ registration
+    def register(self, node_id: Hashable, iowait_source: Callable[[], float]) -> None:
+        """Register a node with a callable returning its current iowait."""
+        self._sources[node_id] = iowait_source
+        self._entries.setdefault(node_id, GossipEntry())
+
+    def start(self) -> None:
+        """Begin the periodic publish cycle for every registered node."""
+        if self._started:
+            return
+        self._started = True
+        self._publish_all()
+
+    # ---------------------------------------------------------------- publish
+    def _publish_all(self) -> None:
+        for node_id in self._sources:
+            self.publish(node_id)
+        self.loop.schedule(self.interval_ms, self._publish_all)
+
+    def publish(self, node_id: Hashable, iowait: float | None = None) -> None:
+        """Publish a node's iowait immediately (outside the periodic cycle)."""
+        if iowait is None:
+            source = self._sources.get(node_id)
+            iowait = float(source()) if source is not None else 0.0
+        iowait = min(max(float(iowait), 0.0), 1.0)
+        entry = self._entries.setdefault(node_id, GossipEntry())
+        entry.iowait = iowait
+        entry.published_at = self.loop.now
+        entry.updates += 1
+        self.total_publishes += 1
+
+    # ------------------------------------------------------------------- reads
+    def latest_iowait(self, node_id: Hashable) -> float:
+        """The most recently gossiped iowait for a node (0 when unknown)."""
+        entry = self._entries.get(node_id)
+        return 0.0 if entry is None else entry.iowait
+
+    def staleness_ms(self, node_id: Hashable) -> float:
+        """How old the latest gossip entry for a node is."""
+        entry = self._entries.get(node_id)
+        if entry is None or entry.published_at == -float("inf"):
+            return float("inf")
+        return self.loop.now - entry.published_at
+
+    def snapshot(self) -> dict[Hashable, float]:
+        """Mapping of node id → latest gossiped iowait."""
+        return {node_id: entry.iowait for node_id, entry in self._entries.items()}

@@ -1,0 +1,136 @@
+"""Metric collection for cluster runs.
+
+Unlike the flat simulator (where a request *is* an operation), the cluster
+substrate separates the two: a client operation may fan out into several
+request copies (read-repair, write replication, speculative retries), and the
+operation completes when its first copy responds.  The collector therefore
+tracks load per response and latency per operation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Hashable
+
+import numpy as np
+
+from ..simulator.metrics import SimulationResult, WindowedCounter
+
+__all__ = ["OperationSample", "ClusterMetrics"]
+
+
+@dataclass(frozen=True, slots=True)
+class OperationSample:
+    """One completed client operation."""
+
+    completed_at: float
+    latency_ms: float
+    is_read: bool
+    group: str
+
+
+class ClusterMetrics:
+    """Accumulates operation latencies and per-node load for a cluster run."""
+
+    def __init__(self, window_ms: float = 100.0) -> None:
+        self.window_ms = float(window_ms)
+        self.samples: list[OperationSample] = []
+        self._per_node_windows: dict[Hashable, WindowedCounter] = {}
+        self._per_node_completed: dict[Hashable, int] = defaultdict(int)
+        self.operations_issued = 0
+        self.copies_issued = 0
+        self.backpressure_events = 0
+        self.speculative_retries = 0
+        self.read_repairs = 0
+
+    # ---------------------------------------------------------------- recording
+    def record_issue(self) -> None:
+        """Record a new client operation entering the system."""
+        self.operations_issued += 1
+
+    def record_copy(self, kind: str = "copy") -> None:
+        """Record an extra request copy (read repair, write replica, retry)."""
+        self.copies_issued += 1
+        if kind == "speculative":
+            self.speculative_retries += 1
+        elif kind == "read_repair":
+            self.read_repairs += 1
+
+    def record_backpressure(self) -> None:
+        """Record one backpressure event at a coordinator."""
+        self.backpressure_events += 1
+
+    def record_load(self, node_id: Hashable, now: float) -> None:
+        """Record one request served by ``node_id`` at time ``now``."""
+        counter = self._per_node_windows.get(node_id)
+        if counter is None:
+            counter = WindowedCounter(self.window_ms)
+            self._per_node_windows[node_id] = counter
+        counter.record(now)
+        self._per_node_completed[node_id] += 1
+
+    def record_operation(self, latency_ms: float, is_read: bool, completed_at: float, group: str = "") -> None:
+        """Record a completed client operation."""
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        self.samples.append(OperationSample(completed_at, latency_ms, is_read, group))
+
+    # ------------------------------------------------------------------ queries
+    @property
+    def operations_completed(self) -> int:
+        """Number of completed operations."""
+        return len(self.samples)
+
+    def latencies(self, reads_only: bool = False, group: str | None = None) -> np.ndarray:
+        """Latency samples, optionally filtered by kind and generator group."""
+        values = [
+            s.latency_ms
+            for s in self.samples
+            if (not reads_only or s.is_read) and (group is None or s.group == group)
+        ]
+        return np.asarray(values, dtype=float)
+
+    def latency_series(self, group: str | None = None, reads_only: bool = True) -> tuple[np.ndarray, np.ndarray]:
+        """``(completion_times, latencies)`` for time-series plots (Fig. 11)."""
+        filtered = [
+            s
+            for s in self.samples
+            if (not reads_only or s.is_read) and (group is None or s.group == group)
+        ]
+        filtered.sort(key=lambda s: s.completed_at)
+        times = np.asarray([s.completed_at for s in filtered], dtype=float)
+        values = np.asarray([s.latency_ms for s in filtered], dtype=float)
+        return times, values
+
+    # -------------------------------------------------------------------- result
+    def result(self, duration_ms: float, strategy: str = "", extra: dict | None = None) -> SimulationResult:
+        """Freeze the collected metrics into a :class:`SimulationResult`."""
+        reads = self.latencies(reads_only=True)
+        all_lat = self.latencies(reads_only=False)
+        writes = np.asarray([s.latency_ms for s in self.samples if not s.is_read], dtype=float)
+        merged_extra = {
+            "operations_issued": self.operations_issued,
+            "copies_issued": self.copies_issued,
+            "speculative_retries": self.speculative_retries,
+            "read_repairs": self.read_repairs,
+            "operation_samples": list(self.samples),
+        }
+        merged_extra.update(extra or {})
+        return SimulationResult(
+            latencies_ms=all_lat,
+            read_latencies_ms=reads,
+            write_latencies_ms=writes,
+            duration_ms=float(duration_ms),
+            completed_requests=self.operations_completed,
+            issued_requests=self.operations_issued,
+            duplicate_requests=self.copies_issued,
+            backpressure_events=self.backpressure_events,
+            server_load_series={
+                nid: counter.counts(duration_ms) for nid, counter in self._per_node_windows.items()
+            },
+            window_ms=self.window_ms,
+            per_server_completed=dict(self._per_node_completed),
+            strategy=strategy,
+            extra=merged_extra,
+        )

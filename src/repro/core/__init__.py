@@ -1,0 +1,39 @@
+"""The C3 core: replica ranking, rate control, backpressure, and scheduling.
+
+This subpackage contains the paper's primary contribution, decoupled from any
+simulation substrate so it can be unit-tested and reused directly.
+"""
+
+from .backpressure import BacklogEntry, BacklogQueue, BackpressureQueues
+from .config import C3Config
+from .ewma import EWMA, TimeDecayedEWMA
+from .feedback import ServerFeedback
+from .rate_control import (
+    CubicRateController,
+    PerServerRateControl,
+    RateLimiter,
+    ReceiveRateTracker,
+    cubic_rate,
+)
+from .scheduler import C3Scheduler, ScheduleDecision
+from .scoring import ReplicaScorer, ServerStats, cubic_score
+
+__all__ = [
+    "BacklogEntry",
+    "BacklogQueue",
+    "BackpressureQueues",
+    "C3Config",
+    "C3Scheduler",
+    "CubicRateController",
+    "EWMA",
+    "PerServerRateControl",
+    "RateLimiter",
+    "ReceiveRateTracker",
+    "ReplicaScorer",
+    "ScheduleDecision",
+    "ServerFeedback",
+    "ServerStats",
+    "TimeDecayedEWMA",
+    "cubic_rate",
+    "cubic_score",
+]

@@ -1,0 +1,55 @@
+"""Server feedback piggy-backed on responses.
+
+C3 servers relay two numbers on every response (§3.1):
+
+* ``queue_size`` — the number of requests pending at the server, recorded
+  *after* the request has been serviced and just before the response is
+  dispatched;
+* ``service_time`` — an estimate of the server's current per-request service
+  time ``1/μ_s`` (the reference implementation piggy-backs the service time of
+  the operation that generated the response; the client smooths it).
+
+The record is deliberately tiny — the paper stresses that the feedback is
+"minimal and approximate".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerFeedback"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerFeedback:
+    """Feedback attached by a server to a single response.
+
+    Attributes
+    ----------
+    queue_size:
+        Number of queued (waiting + in-service) requests at the server at the
+        moment the response was dispatched.  Must be non-negative.
+    service_time:
+        The server-side service time, in milliseconds, of the request that
+        produced this response (or the server's current service-time
+        estimate).  Must be positive.
+    server_id:
+        Identifier of the reporting server; useful when feedback records are
+        routed through shared channels (gossip, tracing) rather than attached
+        to a response object directly.
+    """
+
+    queue_size: float
+    service_time: float
+    server_id: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.queue_size < 0:
+            raise ValueError(f"queue_size must be >= 0, got {self.queue_size}")
+        if self.service_time <= 0:
+            raise ValueError(f"service_time must be > 0, got {self.service_time}")
+
+    @property
+    def service_rate(self) -> float:
+        """The implied service rate μ (requests per millisecond)."""
+        return 1.0 / self.service_time

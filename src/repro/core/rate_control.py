@@ -1,0 +1,354 @@
+"""Distributed rate control — the CUBIC-inspired adaptation loop (§3.2).
+
+Every client keeps, per server, a windowed rate limiter (``srate`` requests
+per δ ms) and adapts ``srate`` from the measured receive rate ``rrate``:
+
+* if ``srate > rrate`` (the server is not keeping up) and the hysteresis
+  period since the last increase has elapsed, remember the saturation rate
+  ``R0 = srate`` and multiplicatively decrease ``srate ← srate · β``;
+* if ``srate < rrate`` the client grows the rate along a cubic curve
+
+      rate(ΔT) = γ · (ΔT − (β·R0/γ)^(1/3))³ + R0
+
+  where ``ΔT`` is the time since the last decrease, capping each step at
+  ``smax``.
+
+The cubic shape yields three operating regions (Figure 5): steep growth at
+low rates, a saddle around the last-known saturation rate, and optimistic
+probing beyond it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+from .config import C3Config
+from .ewma import EWMA
+
+__all__ = [
+    "cubic_rate",
+    "RateLimiter",
+    "ReceiveRateTracker",
+    "CubicRateController",
+    "PerServerRateControl",
+]
+
+
+def cubic_rate(elapsed_ms: float, saturation_rate: float, beta: float, gamma: float) -> float:
+    """Evaluate the cubic growth curve.
+
+    Parameters
+    ----------
+    elapsed_ms:
+        ΔT — time since the last rate-decrease event, in milliseconds.
+    saturation_rate:
+        R0 — the sending rate at the time of the last decrease.
+    beta:
+        Multiplicative decrease factor.
+    gamma:
+        Scaling factor controlling the saddle length.
+    """
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    if saturation_rate < 0:
+        raise ValueError("saturation_rate must be non-negative")
+    inflection = (beta * saturation_rate / gamma) ** (1.0 / 3.0)
+    return gamma * (elapsed_ms - inflection) ** 3 + saturation_rate
+
+
+class RateLimiter:
+    """A windowed request limiter: at most ``rate`` sends per δ-ms window.
+
+    The limiter mirrors the paper's description of a token-bucket style
+    mechanism with a fixed window δ: the number of permits consumed in the
+    current window is tracked, and the window resets once δ has elapsed.
+    Fractional rates are honoured by accumulating fractional allowances
+    across windows.
+    """
+
+    __slots__ = ("delta_ms", "_rate", "_window_start", "_used", "_carry")
+
+    def __init__(self, rate: float, delta_ms: float = 20.0) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if delta_ms <= 0:
+            raise ValueError("delta_ms must be positive")
+        self.delta_ms = float(delta_ms)
+        self._rate = float(rate)
+        self._window_start = 0.0
+        self._used = 0.0
+        self._carry = 0.0
+
+    @property
+    def rate(self) -> float:
+        """Current allowed sends per window."""
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        if value <= 0:
+            raise ValueError("rate must be positive")
+        self._rate = float(value)
+
+    def _roll_window(self, now: float) -> None:
+        if now < self._window_start:
+            # A caller rewound the clock (tests); restart bookkeeping.
+            self._window_start = now
+            self._used = 0.0
+            self._carry = 0.0
+            return
+        elapsed = now - self._window_start
+        if elapsed >= self.delta_ms:
+            windows = int(elapsed // self.delta_ms)
+            # Unused allowance carries over up to one bucket's worth; the
+            # bucket holds at least one whole permit so that fractional rates
+            # (e.g. 0.1 requests per window) still admit a request once
+            # enough windows have elapsed instead of starving forever.
+            cap = max(self._rate, 1.0)
+            leftover = max(0.0, self._carry + self._rate - self._used)
+            self._carry = min(cap, leftover + self._rate * (windows - 1))
+            self._window_start += windows * self.delta_ms
+            self._used = 0.0
+
+    def available(self, now: float) -> float:
+        """Permits still available in the window containing ``now``."""
+        self._roll_window(now)
+        budget = self._rate + self._carry
+        return max(0.0, budget - self._used)
+
+    def within_rate(self, now: float) -> bool:
+        """True when at least one whole permit is available."""
+        return self.available(now) >= 1.0
+
+    def try_acquire(self, now: float) -> bool:
+        """Consume a permit if available; return whether it was granted."""
+        self._roll_window(now)
+        budget = self._rate + self._carry
+        if budget - self._used >= 1.0:
+            self._used += 1.0
+            return True
+        return False
+
+    def time_until_available(self, now: float) -> float:
+        """Milliseconds until the next permit could be granted (0 if now)."""
+        if self.within_rate(now):
+            return 0.0
+        # How many whole permits are we short of 1.0, and how many windows
+        # does it take to accumulate them at the current per-window rate?
+        deficit = 1.0 - (self._rate + self._carry - self._used)
+        windows_needed = max(1, int(math.ceil(deficit / self._rate))) if self._rate > 0 else 1
+        return max(0.0, self._window_start + windows_needed * self.delta_ms - now)
+
+
+class ReceiveRateTracker:
+    """Tracks the responses received per δ-ms window, smoothed with an EWMA."""
+
+    __slots__ = ("delta_ms", "_window_start", "_count", "_ewma")
+
+    def __init__(self, delta_ms: float = 20.0, alpha: float = 0.9) -> None:
+        if delta_ms <= 0:
+            raise ValueError("delta_ms must be positive")
+        self.delta_ms = float(delta_ms)
+        self._window_start = 0.0
+        self._count = 0.0
+        self._ewma = EWMA(alpha)
+
+    def _roll(self, now: float) -> None:
+        if now < self._window_start:
+            self._window_start = now
+            self._count = 0.0
+            return
+        while now - self._window_start >= self.delta_ms:
+            self._ewma.update(self._count)
+            self._count = 0.0
+            self._window_start += self.delta_ms
+
+    def record_response(self, now: float) -> None:
+        """Record a response arriving at time ``now``."""
+        self._roll(now)
+        self._count += 1.0
+
+    def rate(self, now: float) -> float:
+        """Smoothed receive rate (responses per δ window)."""
+        self._roll(now)
+        if not self._ewma.initialized:
+            # Before a full window has elapsed, extrapolate from the partial
+            # window so early comparisons are not biased to zero.
+            elapsed = max(now - self._window_start, 1e-9)
+            return self._count * (self.delta_ms / elapsed) if self._count else 0.0
+        return self._ewma.value
+
+
+@dataclass
+class RateControlEvent:
+    """A record of a single rate adjustment (useful for Fig. 13 style traces)."""
+
+    time: float
+    server_id: Hashable
+    kind: str  # "increase" | "decrease"
+    old_rate: float
+    new_rate: float
+    saturation_rate: float
+
+
+class CubicRateController:
+    """Per-server CUBIC rate adaptation (Algorithm 2, lines 3–11).
+
+    One refinement over the pseudo-code is needed to make the loop robust for
+    lightly-loaded clients: the paper's clients (YCSB coordinators at maximum
+    attainable throughput) always have demand close to their ``srate`` limit,
+    so comparing the *limit* against the receive rate is equivalent to asking
+    whether the server keeps up with what the client sends.  A client that
+    only sends the occasional request would see ``srate > rrate`` purely
+    because it is not using its allowance, and would spuriously collapse its
+    rate to the floor.  The controller therefore also tracks the achieved
+    send rate and only treats ``srate > rrate`` as congestion when (a) the
+    achieved send rate itself exceeds the receive rate (the server is
+    demonstrably falling behind), with a tolerance for measurement noise, and
+    (b) the client is actually using a meaningful share of its limit.  Both
+    thresholds are configurable via
+    :attr:`~repro.core.config.C3Config.rate_excess_tolerance` and
+    :attr:`~repro.core.config.C3Config.rate_min_utilisation`.
+    """
+
+    def __init__(self, config: C3Config, server_id: Hashable = None) -> None:
+        self.config = config
+        self.server_id = server_id
+        self.limiter = RateLimiter(config.initial_rate, config.rate_delta_ms)
+        self.receive = ReceiveRateTracker(config.rate_delta_ms, config.ewma_alpha)
+        self.sent = ReceiveRateTracker(config.rate_delta_ms, config.ewma_alpha)
+        self.saturation_rate = config.initial_rate
+        self.last_decrease_at = 0.0
+        self.last_increase_at = 0.0
+        self.increases = 0
+        self.decreases = 0
+        self.history: list[RateControlEvent] = []
+        self.record_history = False
+
+    # ---------------------------------------------------------------- actions
+    @property
+    def srate(self) -> float:
+        """Current sending-rate limit (requests per δ window)."""
+        return self.limiter.rate
+
+    def rrate(self, now: float) -> float:
+        """Current smoothed receive rate (responses per δ window)."""
+        return self.receive.rate(now)
+
+    def within_rate(self, now: float) -> bool:
+        """Whether a request may be sent to this server right now."""
+        return self.limiter.within_rate(now)
+
+    def try_acquire(self, now: float) -> bool:
+        """Consume a send permit if the limiter allows it."""
+        granted = self.limiter.try_acquire(now)
+        if granted:
+            self.sent.record_response(now)
+        return granted
+
+    def send_rate(self, now: float) -> float:
+        """Achieved send rate (requests per δ window)."""
+        return self.sent.rate(now)
+
+    def time_until_available(self, now: float) -> float:
+        """Milliseconds until a permit will be available again."""
+        return self.limiter.time_until_available(now)
+
+    def on_response(self, now: float) -> None:
+        """Update the rate from a response arriving at ``now`` (Algorithm 2)."""
+        self.receive.record_response(now)
+        srate = self.limiter.rate
+        rrate = self.receive.rate(now)
+        hysteresis = self.config.effective_hysteresis_ms
+        send_rate = self.sent.rate(now)
+        falling_behind = send_rate > rrate * self.config.rate_excess_tolerance
+        limit_in_play = send_rate >= self.config.rate_min_utilisation * srate
+        if (
+            srate > rrate
+            and falling_behind
+            and limit_in_play
+            and (now - self.last_increase_at) > hysteresis
+        ):
+            self._decrease(now, srate)
+        elif srate < rrate:
+            self._increase(now, srate)
+
+    # --------------------------------------------------------------- internal
+    def _decrease(self, now: float, srate: float) -> None:
+        self.saturation_rate = srate
+        new_rate = max(self.config.min_rate, srate * self.config.beta)
+        self.limiter.rate = new_rate
+        self.last_decrease_at = now
+        self.decreases += 1
+        if self.record_history:
+            self.history.append(
+                RateControlEvent(now, self.server_id, "decrease", srate, new_rate, self.saturation_rate)
+            )
+
+    def _increase(self, now: float, srate: float) -> None:
+        elapsed = now - self.last_decrease_at
+        gamma = self.config.effective_gamma(self.saturation_rate)
+        target = cubic_rate(elapsed, self.saturation_rate, self.config.beta, gamma)
+        new_rate = min(srate + self.config.smax, target)
+        if self.config.max_rate is not None:
+            new_rate = min(new_rate, self.config.max_rate)
+        new_rate = max(new_rate, self.config.min_rate)
+        if new_rate <= srate:
+            return
+        self.limiter.rate = new_rate
+        self.last_increase_at = now
+        self.increases += 1
+        if self.record_history:
+            self.history.append(
+                RateControlEvent(now, self.server_id, "increase", srate, new_rate, self.saturation_rate)
+            )
+
+
+class PerServerRateControl:
+    """A collection of :class:`CubicRateController`, one per server."""
+
+    def __init__(self, config: C3Config, record_history: bool = False) -> None:
+        self.config = config
+        self.record_history = record_history
+        self._controllers: dict[Hashable, CubicRateController] = {}
+
+    def controller(self, server_id: Hashable) -> CubicRateController:
+        """Return (creating if necessary) the controller for ``server_id``."""
+        ctrl = self._controllers.get(server_id)
+        if ctrl is None:
+            ctrl = CubicRateController(self.config, server_id)
+            ctrl.record_history = self.record_history
+            self._controllers[server_id] = ctrl
+        return ctrl
+
+    def __contains__(self, server_id: Hashable) -> bool:
+        return server_id in self._controllers
+
+    def __iter__(self):
+        return iter(self._controllers.values())
+
+    def __len__(self) -> int:
+        return len(self._controllers)
+
+    def within_rate(self, server_id: Hashable, now: float) -> bool:
+        """Whether the per-server limiter currently admits a send."""
+        return self.controller(server_id).within_rate(now)
+
+    def try_acquire(self, server_id: Hashable, now: float) -> bool:
+        """Consume a send permit for ``server_id`` if available."""
+        return self.controller(server_id).try_acquire(now)
+
+    def on_response(self, server_id: Hashable, now: float) -> None:
+        """Feed a response event into the matching controller."""
+        self.controller(server_id).on_response(now)
+
+    def rates(self) -> dict[Hashable, float]:
+        """Snapshot of current sending rates (requests per δ window)."""
+        return {sid: ctrl.srate for sid, ctrl in self._controllers.items()}
+
+    def earliest_availability(self, server_ids, now: float) -> float:
+        """Smallest wait (ms) until any of ``server_ids`` admits a request."""
+        waits = [self.controller(sid).time_until_available(now) for sid in server_ids]
+        return min(waits) if waits else 0.0

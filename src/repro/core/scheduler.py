@@ -1,0 +1,206 @@
+"""The C3 replica-selection scheduler (Algorithms 1 and 2, §3.3).
+
+:class:`C3Scheduler` combines the three core mechanisms:
+
+* replica ranking via :class:`~repro.core.scoring.ReplicaScorer`;
+* per-server rate limiting and CUBIC adaptation via
+  :class:`~repro.core.rate_control.PerServerRateControl`;
+* per-replica-group backpressure via
+  :class:`~repro.core.backpressure.BackpressureQueues`.
+
+The scheduler is transport-agnostic: a caller (the flat simulator's client,
+the cluster substrate's coordinator, or a real client library) submits
+requests with explicit timestamps and receives either the chosen server id or
+a "backpressured" outcome, and later reports responses with the piggy-backed
+feedback.  All time values are milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Sequence
+
+from .backpressure import BackpressureQueues, BacklogEntry
+from .config import C3Config
+from .feedback import ServerFeedback
+from .rate_control import PerServerRateControl
+from .scoring import ReplicaScorer
+
+__all__ = ["ScheduleDecision", "C3Scheduler"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduleDecision:
+    """Result of submitting one request to the scheduler.
+
+    Attributes
+    ----------
+    server_id:
+        The chosen server, or ``None`` when the request was backpressured.
+    backpressured:
+        Whether the request is waiting in a backlog queue.
+    ranking:
+        The scored ordering of the replica group at decision time; useful for
+        tracing and tests.
+    retry_after_ms:
+        When backpressured, a hint of how long until a permit frees up.
+    """
+
+    server_id: Hashable | None
+    backpressured: bool
+    ranking: tuple
+    retry_after_ms: float = 0.0
+
+    @property
+    def sent(self) -> bool:
+        """True when a server was selected for immediate dispatch."""
+        return self.server_id is not None
+
+
+class C3Scheduler:
+    """Client-side C3: ranking + rate control + backpressure.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.core.config.C3Config` to operate under.
+    record_rate_history:
+        When True, every rate increase/decrease is recorded (used to
+        regenerate the Figure 13 trace).
+    """
+
+    def __init__(self, config: C3Config | None = None, record_rate_history: bool = False) -> None:
+        self.config = config or C3Config()
+        self.scorer = ReplicaScorer(self.config)
+        self.rate_control = PerServerRateControl(self.config, record_history=record_rate_history)
+        self.backlog = BackpressureQueues()
+        self.requests_submitted = 0
+        self.requests_sent = 0
+        self.requests_backpressured = 0
+        self.responses_received = 0
+
+    # -------------------------------------------------------------- send path
+    def submit(
+        self,
+        request: object,
+        replica_group: Sequence[Hashable],
+        now: float,
+    ) -> ScheduleDecision:
+        """Algorithm 1: pick a replica for ``request`` or apply backpressure.
+
+        The replica group is ranked by the cubic score; the first replica
+        whose rate limiter admits the request receives it.  When no replica is
+        within its rate the request is parked in the group's backlog queue
+        (only if rate control is enabled — otherwise the best-ranked replica
+        is always used).
+        """
+        group = tuple(replica_group)
+        if not group:
+            raise ValueError("replica_group must not be empty")
+        self.requests_submitted += 1
+        ranking = tuple(self.scorer.rank(group))
+
+        if not self.config.rate_control_enabled:
+            chosen = ranking[0]
+            self.scorer.on_send(chosen, now)
+            self.requests_sent += 1
+            return ScheduleDecision(server_id=chosen, backpressured=False, ranking=ranking)
+
+        for server_id in ranking:
+            if self.rate_control.try_acquire(server_id, now):
+                self.scorer.on_send(server_id, now)
+                self.requests_sent += 1
+                return ScheduleDecision(server_id=server_id, backpressured=False, ranking=ranking)
+
+        # Backpressure: every candidate replica exceeded its rate.
+        self.backlog.enqueue(request, group, now)
+        self.requests_backpressured += 1
+        retry_after = self.rate_control.earliest_availability(group, now)
+        return ScheduleDecision(
+            server_id=None,
+            backpressured=True,
+            ranking=ranking,
+            retry_after_ms=retry_after,
+        )
+
+    # ----------------------------------------------------------- receive path
+    def on_response(
+        self,
+        server_id: Hashable,
+        feedback: ServerFeedback | None,
+        response_time: float,
+        now: float,
+    ) -> list[tuple[BacklogEntry, Hashable]]:
+        """Algorithm 2: record a response and release any unblocked backlog.
+
+        Returns the backlog entries (paired with their chosen servers) that
+        became dispatchable as a result of this response; the caller is
+        responsible for actually transmitting them.
+        """
+        self.responses_received += 1
+        self.scorer.on_response(server_id, feedback, response_time, now)
+        if self.config.rate_control_enabled:
+            self.rate_control.on_response(server_id, now)
+            return self.drain_backlog(now)
+        return []
+
+    def on_timeout(self, server_id: Hashable, now: float, penalty_ms: float | None = None) -> None:
+        """Record a request that will never complete (lost response)."""
+        self.scorer.on_timeout(server_id, penalty_ms)
+
+    # ------------------------------------------------------------- backlog ops
+    def drain_backlog(
+        self, now: float, max_requests: int | None = None
+    ) -> list[tuple[BacklogEntry, Hashable]]:
+        """Release backlogged requests whose groups now have available permits.
+
+        Each released entry has already had its send accounted (permit
+        consumed, outstanding count incremented); the caller just dispatches.
+        """
+        if not self.config.rate_control_enabled:
+            return []
+
+        def can_place(entry: BacklogEntry, at: float) -> Hashable | None:
+            ranking = self.scorer.rank(entry.replica_group)
+            for server_id in ranking:
+                if self.rate_control.try_acquire(server_id, at):
+                    self.scorer.on_send(server_id, at)
+                    self.requests_sent += 1
+                    return server_id
+            return None
+
+        return self.backlog.drain_ready(now, can_place, max_requests=max_requests)
+
+    def pending_backlog(self) -> int:
+        """Number of requests currently held by backpressure."""
+        return self.backlog.pending()
+
+    def next_backlog_retry_ms(self, now: float) -> float | None:
+        """Earliest wait until any backlogged group may obtain a permit.
+
+        Returns ``None`` when no requests are backlogged.
+        """
+        queues = self.backlog.nonempty_queues()
+        if not queues:
+            return None
+        waits = [
+            self.rate_control.earliest_availability(tuple(q.group_key), now) for q in queues
+        ]
+        return min(waits)
+
+    # ------------------------------------------------------------- observation
+    def sending_rates(self) -> dict[Hashable, float]:
+        """Current per-server sending rates (requests per δ window)."""
+        return self.rate_control.rates()
+
+    def stats(self) -> dict:
+        """Aggregate scheduler statistics for reporting and tests."""
+        return {
+            "submitted": self.requests_submitted,
+            "sent": self.requests_sent,
+            "backpressured": self.requests_backpressured,
+            "responses": self.responses_received,
+            "pending_backlog": self.pending_backlog(),
+            "backlog": self.backlog.stats(),
+            "scorer": self.scorer.counters.as_dict(),
+        }

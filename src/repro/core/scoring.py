@@ -1,0 +1,279 @@
+"""Replica ranking — the C3 scoring function (§3.1).
+
+Each client maintains, per server ``s``:
+
+* ``R_s``       — EWMA of the response times it observed from ``s``;
+* ``q̄_s``       — EWMA of the queue-size feedback piggy-backed by ``s``;
+* ``1/μ̄_s``     — EWMA of the service-time feedback piggy-backed by ``s``;
+* ``os_s``      — an instantaneous count of its outstanding requests to ``s``.
+
+The client extrapolates a queue-size estimate that accounts for concurrency
+(other clients, requests in flight):
+
+    q̂_s = 1 + os_s · w + q̄_s
+
+and scores the server with the cubic function
+
+    Ψ_s = R_s − 1/μ̄_s + (q̂_s)^b / μ̄_s          (b = 3 by default)
+
+Lower scores are better.  The ``R_s − 1/μ̄_s`` term makes the score collapse to
+the plain observed response time when the queue estimate is 1 (no outstanding
+requests, zero queue feedback), while the convex queue penalty dominates as
+soon as queues build up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping
+
+from .config import C3Config
+from .ewma import EWMA
+from .feedback import ServerFeedback
+
+__all__ = ["ServerStats", "ReplicaScorer", "cubic_score"]
+
+
+def cubic_score(
+    response_time: float,
+    queue_estimate: float,
+    service_time: float,
+    exponent: float = 3.0,
+) -> float:
+    """Compute the C3 score for one server from already-smoothed inputs.
+
+    Parameters
+    ----------
+    response_time:
+        Smoothed client-observed response time ``R_s`` (milliseconds).
+    queue_estimate:
+        Queue-size estimate ``q̂_s`` (requests), already including the
+        concurrency compensation and the ``1 +`` offset.
+    service_time:
+        Smoothed service time ``1/μ̄_s`` (milliseconds); must be positive.
+    exponent:
+        Exponent ``b`` applied to the queue estimate (3 = cubic).
+    """
+    if service_time <= 0:
+        raise ValueError(f"service_time must be positive, got {service_time}")
+    if queue_estimate < 0:
+        raise ValueError(f"queue_estimate must be non-negative, got {queue_estimate}")
+    mu = 1.0 / service_time
+    return response_time - service_time + (queue_estimate**exponent) / mu
+
+
+@dataclass
+class ServerStats:
+    """Per-server state a client keeps for ranking purposes."""
+
+    server_id: Hashable
+    response_time: EWMA
+    queue_size: EWMA
+    service_time: EWMA
+    outstanding: int = 0
+    feedback_count: int = 0
+    last_feedback_at: float | None = None
+    last_sent_at: float | None = None
+
+    def snapshot(self) -> dict:
+        """Return a plain-dict view (handy for logging and tests)."""
+        return {
+            "server_id": self.server_id,
+            "response_time": self.response_time.value,
+            "queue_size": self.queue_size.value,
+            "service_time": self.service_time.value,
+            "outstanding": self.outstanding,
+            "feedback_count": self.feedback_count,
+        }
+
+
+@dataclass
+class _ScorerCounters:
+    """Internal bookkeeping counters exposed for observability."""
+
+    sends: int = 0
+    responses: int = 0
+    timeouts: int = 0
+    resets: int = 0
+    score_evaluations: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "sends": self.sends,
+            "responses": self.responses,
+            "timeouts": self.timeouts,
+            "resets": self.resets,
+            "score_evaluations": self.score_evaluations,
+        }
+
+
+class ReplicaScorer:
+    """Maintains per-server statistics and ranks replicas by the C3 score.
+
+    The scorer is deliberately framework-agnostic: callers report sends and
+    responses with explicit timestamps, and ask for rankings of arbitrary
+    replica groups.  Both the flat simulator and the Cassandra-like cluster
+    substrate drive the same object.
+
+    Parameters
+    ----------
+    config:
+        A :class:`~repro.core.config.C3Config`; only the scoring-related
+        fields are used here.
+    """
+
+    def __init__(self, config: C3Config | None = None) -> None:
+        self.config = config or C3Config()
+        self._stats: dict[Hashable, ServerStats] = {}
+        self.counters = _ScorerCounters()
+
+    # ------------------------------------------------------------------ state
+    def stats_for(self, server_id: Hashable) -> ServerStats:
+        """Return (creating if needed) the stats record for ``server_id``."""
+        stats = self._stats.get(server_id)
+        if stats is None:
+            alpha = self.config.ewma_alpha
+            stats = ServerStats(
+                server_id=server_id,
+                response_time=EWMA(alpha),
+                queue_size=EWMA(alpha),
+                service_time=EWMA(alpha),
+            )
+            self._stats[server_id] = stats
+        return stats
+
+    @property
+    def known_servers(self) -> list[Hashable]:
+        """Servers for which any state exists."""
+        return list(self._stats)
+
+    def outstanding(self, server_id: Hashable) -> int:
+        """Number of requests this client currently has in flight to a server."""
+        stats = self._stats.get(server_id)
+        return 0 if stats is None else stats.outstanding
+
+    def total_outstanding(self) -> int:
+        """Total in-flight requests across all servers."""
+        return sum(s.outstanding for s in self._stats.values())
+
+    def reset_server(self, server_id: Hashable) -> None:
+        """Forget all state about one server (e.g. after it left the ring)."""
+        if server_id in self._stats:
+            del self._stats[server_id]
+            self.counters.resets += 1
+
+    # ---------------------------------------------------------------- updates
+    def on_send(self, server_id: Hashable, now: float | None = None) -> None:
+        """Record that a request was dispatched to ``server_id``."""
+        stats = self.stats_for(server_id)
+        stats.outstanding += 1
+        stats.last_sent_at = now
+        self.counters.sends += 1
+
+    def on_response(
+        self,
+        server_id: Hashable,
+        feedback: ServerFeedback | None,
+        response_time: float,
+        now: float | None = None,
+    ) -> None:
+        """Record a completed request.
+
+        Parameters
+        ----------
+        server_id:
+            The server that produced the response.
+        feedback:
+            The piggy-backed :class:`ServerFeedback`, or ``None`` when the
+            transport lost it (the response time is still folded in).
+        response_time:
+            End-to-end response time observed by the client, in milliseconds.
+        now:
+            Current client clock, used only for bookkeeping.
+        """
+        if response_time < 0:
+            raise ValueError(f"response_time must be non-negative, got {response_time}")
+        stats = self.stats_for(server_id)
+        if stats.outstanding > 0:
+            stats.outstanding -= 1
+        stats.response_time.update(response_time)
+        if feedback is not None:
+            stats.queue_size.update(feedback.queue_size)
+            stats.service_time.update(
+                max(feedback.service_time, self.config.service_time_floor_ms)
+            )
+            stats.feedback_count += 1
+            stats.last_feedback_at = now
+        self.counters.responses += 1
+
+    def on_timeout(self, server_id: Hashable, penalty_ms: float | None = None) -> None:
+        """Record a request that never completed.
+
+        The outstanding count is decremented and, optionally, a penalty
+        response time is folded in so that a black-holing server gets ranked
+        progressively worse instead of retaining its last (good) score.
+        """
+        stats = self.stats_for(server_id)
+        if stats.outstanding > 0:
+            stats.outstanding -= 1
+        if penalty_ms is not None:
+            stats.response_time.update(penalty_ms)
+        self.counters.timeouts += 1
+
+    # ---------------------------------------------------------------- scoring
+    def queue_estimate(self, server_id: Hashable) -> float:
+        """The concurrency-compensated queue estimate ``q̂_s``."""
+        stats = self.stats_for(server_id)
+        return 1.0 + stats.outstanding * self.config.concurrency_weight + stats.queue_size.value
+
+    def expected_service_time(self, server_id: Hashable) -> float:
+        """Smoothed service time ``1/μ̄_s`` with the configured numeric floor."""
+        stats = self.stats_for(server_id)
+        if not stats.service_time.initialized:
+            return self.config.service_time_floor_ms
+        return max(stats.service_time.value, self.config.service_time_floor_ms)
+
+    def score(self, server_id: Hashable) -> float:
+        """The C3 score Ψ_s for one server (lower is better)."""
+        stats = self.stats_for(server_id)
+        self.counters.score_evaluations += 1
+        return cubic_score(
+            response_time=stats.response_time.value,
+            queue_estimate=self.queue_estimate(server_id),
+            service_time=self.expected_service_time(server_id),
+            exponent=self.config.score_exponent,
+        )
+
+    def scores(self, replica_group: Iterable[Hashable]) -> Mapping[Hashable, float]:
+        """Scores for every member of ``replica_group``."""
+        return {server_id: self.score(server_id) for server_id in replica_group}
+
+    def rank(self, replica_group: Iterable[Hashable]) -> list[Hashable]:
+        """Replica group sorted by ascending score (best server first).
+
+        Ties are broken by the number of outstanding requests (fewer first)
+        and then by a stable ordering of the server identifiers, so that
+        ranking is deterministic for reproducible simulations.
+        """
+        group = list(replica_group)
+        if not group:
+            raise ValueError("replica_group must not be empty")
+        scored = self.scores(group)
+        return sorted(
+            group,
+            key=lambda sid: (scored[sid], self.outstanding(sid), _stable_key(sid)),
+        )
+
+    def best(self, replica_group: Iterable[Hashable]) -> Hashable:
+        """The best-ranked replica of the group."""
+        return self.rank(replica_group)[0]
+
+    # ------------------------------------------------------------ observation
+    def snapshot(self) -> dict:
+        """A plain-dict dump of all per-server state (for logging/tests)."""
+        return {sid: stats.snapshot() for sid, stats in self._stats.items()}
+
+
+def _stable_key(server_id: Hashable) -> str:
+    """A deterministic tie-break key for arbitrary hashable server ids."""
+    return f"{type(server_id).__name__}:{server_id!r}"

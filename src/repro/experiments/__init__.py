@@ -1,0 +1,52 @@
+"""Experiment harness: one module per paper figure/table plus ablations.
+
+Importing this package registers every experiment into
+:data:`repro.experiments.registry`; use :func:`run_experiment` (or the
+``c3-repro`` CLI) to run one by id.
+"""
+
+from .base import ExperimentResult, ExperimentRegistry, registry
+from .common import ClusterScale, run_single_cluster, run_workload_comparison
+
+# Importing the modules registers their experiments.
+from . import (  # noqa: F401  (imported for registration side effects)
+    ablations,
+    fig01_motivating,
+    fig02_oscillation,
+    fig04_scoring,
+    fig05_cubic_curve,
+    fig06_latency,
+    fig07_throughput,
+    fig08_load_conditioning,
+    fig09_load_timeseries,
+    fig10_higher_load,
+    fig11_dynamic_workload,
+    fig12_ssd,
+    fig13_rate_adaptation,
+    fig14_fluctuation,
+    fig15_skew,
+    skewed_records,
+    speculative_retry,
+    table1_survey,
+)
+
+__all__ = [
+    "ClusterScale",
+    "ExperimentRegistry",
+    "ExperimentResult",
+    "list_experiments",
+    "registry",
+    "run_experiment",
+    "run_single_cluster",
+    "run_workload_comparison",
+]
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id (see DESIGN.md for the index)."""
+    return registry.run(experiment_id, **kwargs)
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids."""
+    return registry.ids()

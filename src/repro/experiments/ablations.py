@@ -1,0 +1,145 @@
+"""Ablation studies of C3's design choices (DESIGN.md §5).
+
+The paper motivates three design choices that these ablations probe directly
+on the flat simulator:
+
+* the **cubic exponent** ``b`` of the scoring function (b = 3 in C3, b = 1 is
+  the linear scoring Figure 4 argues against);
+* the **concurrency-compensation weight** ``w`` (set to the number of clients
+  in the paper; 0 disables the compensation entirely);
+* **rate control** (C3 with the ranking only, no rate limiter/backpressure).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import C3Config
+from ..simulator import SimulationConfig, run_simulation
+from .base import ExperimentResult, registry
+
+__all__ = ["run_exponent_ablation", "run_concurrency_ablation", "run_rate_control_ablation"]
+
+_DEFAULT_SIM = dict(
+    num_servers=30,
+    num_clients=90,
+    num_requests=5_000,
+    utilization=0.7,
+    fluctuation_interval_ms=200.0,
+)
+
+
+def _run_c3(config_overrides: dict, c3_config: C3Config, seed: int = 0) -> dict:
+    params = dict(_DEFAULT_SIM)
+    params.update(config_overrides)
+    sim_config = SimulationConfig(strategy="C3", c3_config=c3_config, seed=seed, **params)
+    summary = run_simulation(sim_config).summary
+    return summary.as_dict()
+
+
+@registry.register("ablation_exponent", "Scoring-function exponent ablation (b = 1, 2, 3, 4)")
+def run_exponent_ablation(
+    exponents: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0),
+    num_clients: int = 90,
+    seeds: tuple[int, ...] = (0,),
+    **sim_overrides,
+) -> ExperimentResult:
+    """Sweep the queue-penalty exponent ``b`` of the scoring function."""
+    rows = []
+    data = {}
+    for exponent in exponents:
+        metrics = []
+        for seed in seeds:
+            c3_config = C3Config(score_exponent=exponent).with_clients(num_clients)
+            metrics.append(_run_c3({**sim_overrides, "num_clients": num_clients}, c3_config, seed))
+        averaged = {k: float(np.mean([m[k] for m in metrics])) for k in metrics[0]}
+        rows.append([exponent, averaged["median"], averaged["p95"], averaged["p99"], averaged["p99.9"]])
+        data[exponent] = averaged
+    return ExperimentResult(
+        experiment_id="ablation_exponent",
+        title="C3 latency (ms) as a function of the scoring exponent b",
+        headers=["exponent b", "median", "p95", "p99", "p99.9"],
+        rows=rows,
+        notes=[
+            "The paper argues b = 3 balances preferring fast servers against robustness to "
+            "service-time changes; b = 1 reproduces the linear scoring that builds long queues at "
+            "momentarily-fast servers.",
+        ],
+        data=data,
+    )
+
+
+@registry.register("ablation_concurrency", "Concurrency-compensation weight ablation (w = 0, 1, n)")
+def run_concurrency_ablation(
+    num_clients: int = 90,
+    seeds: tuple[int, ...] = (0,),
+    **sim_overrides,
+) -> ExperimentResult:
+    """Sweep the concurrency-compensation weight ``w`` in the queue estimate."""
+    weights = [("w = 0 (off)", 0.0), ("w = 1", 1.0), (f"w = n ({num_clients})", float(num_clients))]
+    rows = []
+    data = {}
+    for label, weight in weights:
+        metrics = []
+        for seed in seeds:
+            c3_config = C3Config(concurrency_weight=weight)
+            metrics.append(_run_c3({**sim_overrides, "num_clients": num_clients}, c3_config, seed))
+        averaged = {k: float(np.mean([m[k] for m in metrics])) for k in metrics[0]}
+        rows.append([label, averaged["median"], averaged["p95"], averaged["p99"], averaged["p99.9"]])
+        data[label] = averaged
+    return ExperimentResult(
+        experiment_id="ablation_concurrency",
+        title="C3 latency (ms) as a function of the concurrency-compensation weight",
+        headers=["weight", "median", "p95", "p99", "p99.9"],
+        rows=rows,
+        notes=[
+            "The paper sets w to the number of clients so that clients with more outstanding "
+            "requests project larger queues and back off, providing robustness to synchronisation.",
+        ],
+        data=data,
+    )
+
+
+@registry.register("ablation_rate_control", "Rate control on/off ablation")
+def run_rate_control_ablation(
+    num_clients: int = 90,
+    seeds: tuple[int, ...] = (0,),
+    utilization: float = 0.85,
+    **sim_overrides,
+) -> ExperimentResult:
+    """Compare full C3 against ranking-only C3 (no rate control/backpressure).
+
+    The difference is most visible near saturation, so the default
+    utilisation is higher than in the other ablations.
+    """
+    variants = [
+        ("C3 (ranking + rate control)", True),
+        ("C3 ranking only", False),
+    ]
+    rows = []
+    data = {}
+    for label, enabled in variants:
+        metrics = []
+        for seed in seeds:
+            c3_config = C3Config(rate_control_enabled=enabled).with_clients(num_clients)
+            metrics.append(
+                _run_c3(
+                    {**sim_overrides, "num_clients": num_clients, "utilization": utilization},
+                    c3_config,
+                    seed,
+                )
+            )
+        averaged = {k: float(np.mean([m[k] for m in metrics])) for k in metrics[0]}
+        rows.append([label, averaged["median"], averaged["p95"], averaged["p99"], averaged["p99.9"]])
+        data[label] = averaged
+    return ExperimentResult(
+        experiment_id="ablation_rate_control",
+        title=f"C3 latency (ms) with and without rate control (utilization {utilization:.0%})",
+        headers=["variant", "median", "p95", "p99", "p99.9"],
+        rows=rows,
+        notes=[
+            "Rate control bounds the combined demand on a single server; the RR baseline of "
+            "Figure 14 isolates the complementary question (rate control without ranking).",
+        ],
+        data=data,
+    )

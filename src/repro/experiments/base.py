@@ -1,0 +1,101 @@
+"""Shared infrastructure for the per-figure experiment modules.
+
+Every experiment module exposes a ``run(...)`` function with scaled-down
+defaults that returns an :class:`ExperimentResult` — a named collection of
+table rows that can be rendered as text (the benchmark harness prints these,
+which is how a reader compares the reproduction against the paper's figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..analysis.report import format_table
+
+__all__ = ["ExperimentResult", "ExperimentRegistry", "registry"]
+
+
+@dataclass
+class ExperimentResult:
+    """The output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Identifier matching DESIGN.md's per-experiment index (e.g. ``fig06``).
+    title:
+        Human-readable description of the reproduced artifact.
+    headers / rows:
+        The table that corresponds to the paper's figure/table.
+    notes:
+        Free-form remarks (scaling applied, qualitative comparison vs paper).
+    data:
+        Raw data for programmatic consumers (tests, plotting).
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence]
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def to_text(self, precision: int = 2) -> str:
+        """Render the result as a fixed-width text report."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows, precision=precision))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def row_dicts(self) -> list[dict]:
+        """Rows as dictionaries keyed by header name."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+
+class ExperimentRegistry:
+    """Registry mapping experiment ids to their ``run`` callables."""
+
+    def __init__(self) -> None:
+        self._experiments: dict[str, Callable[..., ExperimentResult]] = {}
+        self._descriptions: dict[str, str] = {}
+
+    def register(self, experiment_id: str, description: str = "") -> Callable:
+        """Decorator registering a ``run`` function under ``experiment_id``."""
+
+        def decorator(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+            if experiment_id in self._experiments:
+                raise ValueError(f"experiment {experiment_id!r} is already registered")
+            self._experiments[experiment_id] = fn
+            self._descriptions[experiment_id] = description or (fn.__doc__ or "").strip()
+            return fn
+
+        return decorator
+
+    def get(self, experiment_id: str) -> Callable[..., ExperimentResult]:
+        """The ``run`` callable for an experiment id."""
+        if experiment_id not in self._experiments:
+            raise KeyError(
+                f"unknown experiment {experiment_id!r}; known: {', '.join(sorted(self._experiments))}"
+            )
+        return self._experiments[experiment_id]
+
+    def run(self, experiment_id: str, **kwargs) -> ExperimentResult:
+        """Run an experiment by id."""
+        return self.get(experiment_id)(**kwargs)
+
+    def ids(self) -> list[str]:
+        """All registered experiment ids, sorted."""
+        return sorted(self._experiments)
+
+    def describe(self, experiment_id: str) -> str:
+        """The registered description of an experiment."""
+        return self._descriptions.get(experiment_id, "")
+
+
+#: The global registry the experiment modules register into.
+registry = ExperimentRegistry()

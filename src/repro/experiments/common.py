@@ -1,0 +1,79 @@
+"""Shared experiment runners (cluster workload comparisons).
+
+Figures 6, 7 and 8 all come from the same set of EC2 runs (three workload
+mixes × {C3, Dynamic Snitching}); :func:`run_workload_comparison` is the
+shared runner those experiment modules use, with scaled-down defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import ClusterConfig, run_cluster
+from ..simulator.metrics import SimulationResult
+
+__all__ = ["ClusterScale", "run_workload_comparison", "run_single_cluster"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterScale:
+    """Scaled-down deployment knobs shared by the cluster experiments.
+
+    The paper uses 15 nodes, 120 (or 210) YCSB generators, 10 M operations
+    per measurement and five repetitions.  The defaults here use the same
+    node count but fewer generators, a few simulated seconds and one seed so
+    the whole benchmark suite finishes in minutes on a laptop.
+    """
+
+    num_nodes: int = 15
+    num_generators: int = 60
+    duration_ms: float = 2_000.0
+    num_keys: int = 10_000
+    seed: int = 1
+    disk: str = "hdd"
+
+    def to_config(self, strategy: str, workload_mix: str, **overrides) -> ClusterConfig:
+        """Build a :class:`ClusterConfig` for one strategy/mix combination."""
+        params = dict(
+            num_nodes=self.num_nodes,
+            num_generators=self.num_generators,
+            duration_ms=self.duration_ms,
+            num_keys=self.num_keys,
+            seed=self.seed,
+            disk=self.disk,
+            strategy=strategy,
+            workload_mix=workload_mix,
+        )
+        params.update(overrides)
+        return ClusterConfig(**params)
+
+
+def run_single_cluster(
+    strategy: str,
+    workload_mix: str = "read_heavy",
+    scale: ClusterScale | None = None,
+    **overrides,
+) -> SimulationResult:
+    """Run one cluster scenario."""
+    scale = scale or ClusterScale()
+    return run_cluster(scale.to_config(strategy, workload_mix, **overrides))
+
+
+def run_workload_comparison(
+    strategies: tuple[str, ...] = ("C3", "DS"),
+    mixes: tuple[str, ...] = ("read_heavy", "read_only", "update_heavy"),
+    scale: ClusterScale | None = None,
+    **overrides,
+) -> dict[tuple[str, str], SimulationResult]:
+    """Run every (mix, strategy) combination and return their results.
+
+    Returns a dict keyed by ``(workload_mix, strategy)``.
+    """
+    scale = scale or ClusterScale()
+    results: dict[tuple[str, str], SimulationResult] = {}
+    for mix in mixes:
+        for strategy in strategies:
+            results[(mix, strategy)] = run_single_cluster(
+                strategy, workload_mix=mix, scale=scale, **overrides
+            )
+    return results

@@ -1,0 +1,66 @@
+"""Figure 2 — load oscillations caused by Dynamic Snitching.
+
+The paper records the number of read requests a single Cassandra node
+services per 100 ms window and finds that, under Dynamic Snitching, the most
+heavily utilised node swings between 0 and ~500 requests per window —
+symptomatic of herd behaviour.  The experiment runs the cluster substrate
+under DS (and, for contrast, C3) and reports oscillation metrics of the
+hottest node's load series.
+"""
+
+from __future__ import annotations
+
+from ..analysis.oscillation import burstiness, load_conditioning, oscillation_score
+from .base import ExperimentResult, registry
+from .common import ClusterScale, run_single_cluster
+
+__all__ = ["run"]
+
+
+@registry.register("fig02", "Load oscillations under Dynamic Snitching (Figure 2)")
+def run(
+    strategies: tuple[str, ...] = ("DS", "C3"),
+    workload_mix: str = "read_heavy",
+    scale: ClusterScale | None = None,
+) -> ExperimentResult:
+    """Measure per-100 ms load swings on the hottest node per strategy."""
+    scale = scale or ClusterScale()
+    rows = []
+    data = {}
+    for strategy in strategies:
+        result = run_single_cluster(strategy, workload_mix=workload_mix, scale=scale)
+        series = result.hottest_server_series()
+        report = load_conditioning(series)
+        rows.append(
+            [
+                strategy,
+                report.minimum,
+                report.median,
+                report.p99,
+                report.maximum,
+                oscillation_score(series),
+                burstiness(series),
+            ]
+        )
+        data[strategy] = {"series": series, "report": report, "result": result}
+    return ExperimentResult(
+        experiment_id="fig02",
+        title="Reads served per 100 ms by the most heavily utilised node",
+        headers=[
+            "strategy",
+            "min/window",
+            "median/window",
+            "p99/window",
+            "max/window",
+            "oscillation score",
+            "Fano factor",
+        ],
+        rows=rows,
+        notes=[
+            "Paper: under DS the hottest node's per-100 ms load ranges from 0 up to ~500 even under "
+            "stable conditions (herd behaviour); C3 keeps the series in a narrow band.",
+            "The oscillation score is the mean window-to-window swing normalised by the mean load; "
+            "the Fano factor is variance/mean of the per-window counts.",
+        ],
+        data=data,
+    )

@@ -1,0 +1,81 @@
+"""Figure 5 — the cubic growth curve used for rate adaptation.
+
+The curve ``rate(ΔT) = γ(ΔT − (βR0/γ)^(1/3))³ + R0`` has three operating
+regions: steep growth at low rates, a saddle around the last-known saturation
+rate R0, and optimistic probing beyond it.  The experiment samples the curve
+and reports where each region begins and ends for the paper's parameters
+(β = 0.2, saddle ≈ 100 ms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import C3Config
+from ..core.rate_control import cubic_rate
+from .base import ExperimentResult, registry
+
+__all__ = ["run", "curve_points", "region_boundaries"]
+
+
+def curve_points(
+    saturation_rate: float, beta: float, gamma: float, max_elapsed_ms: float = 200.0, step_ms: float = 5.0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample the cubic curve over ``[0, max_elapsed_ms]``."""
+    elapsed = np.arange(0.0, max_elapsed_ms + step_ms, step_ms)
+    rates = np.array([cubic_rate(t, saturation_rate, beta, gamma) for t in elapsed])
+    return elapsed, rates
+
+
+def region_boundaries(saturation_rate: float, beta: float, gamma: float, tolerance: float = 0.05) -> dict:
+    """ΔT boundaries of the three regions (low-rate, saddle, probing).
+
+    The saddle is defined as the span where the rate stays within
+    ``tolerance`` of R0; the low-rate region precedes it, optimistic probing
+    follows it.
+    """
+    inflection = (beta * saturation_rate / gamma) ** (1.0 / 3.0)
+    band = tolerance * saturation_rate
+    # rate(ΔT) − R0 = γ(ΔT − inflection)³, so |ΔT − inflection| ≤ (band/γ)^(1/3).
+    half_width = (band / gamma) ** (1.0 / 3.0)
+    return {
+        "inflection_ms": inflection,
+        "saddle_start_ms": max(0.0, inflection - half_width),
+        "saddle_end_ms": inflection + half_width,
+        "saddle_width_ms": 2 * half_width,
+    }
+
+
+@registry.register("fig05", "Cubic rate-adaptation growth curve (Figure 5)")
+def run(saturation_rate: float = 50.0, saddle_ms: float = 100.0, beta: float = 0.2) -> ExperimentResult:
+    """Reproduce the shape of Figure 5 for the paper's parameters."""
+    config = C3Config(beta=beta, saddle_duration_ms=saddle_ms, initial_rate=saturation_rate)
+    gamma = config.effective_gamma(saturation_rate)
+    boundaries = region_boundaries(saturation_rate, beta, gamma)
+    elapsed, rates = curve_points(saturation_rate, beta, gamma)
+
+    sample_points = [0.0, boundaries["saddle_start_ms"], boundaries["inflection_ms"], boundaries["saddle_end_ms"], 150.0, 200.0]
+    rows = []
+    for t in sample_points:
+        rate = cubic_rate(t, saturation_rate, beta, gamma)
+        if t < boundaries["saddle_start_ms"]:
+            region = "low-rate (steep growth)"
+        elif t <= boundaries["saddle_end_ms"]:
+            region = "saddle (stable)"
+        else:
+            region = "optimistic probing"
+        rows.append([t, rate, region])
+
+    return ExperimentResult(
+        experiment_id="fig05",
+        title="Cubic growth curve for rate control (rate vs time since last decrease)",
+        headers=["elapsed ΔT (ms)", "sending rate (req per δ)", "region"],
+        rows=rows,
+        notes=[
+            f"gamma = {gamma:.3g} chosen so the saddle spans roughly {saddle_ms:.0f} ms "
+            f"(measured saddle width ≈ {boundaries['saddle_width_ms']:.0f} ms around ΔT = "
+            f"{boundaries['inflection_ms']:.0f} ms).",
+            "The curve starts below R0 after a multiplicative decrease, flattens around R0, then probes beyond it.",
+        ],
+        data={"elapsed": elapsed, "rates": rates, "boundaries": boundaries, "gamma": gamma},
+    )

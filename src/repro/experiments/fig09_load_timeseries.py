@@ -1,0 +1,65 @@
+"""Figure 9 — per-node load over time, C3 vs Dynamic Snitching.
+
+The figure shows the number of reads received per 100 ms by a single node
+over the course of a run: with C3 coordinators adjust their sending rates to
+the peer's perceived capacity and the profile is smooth; with DS it shows
+synchronised vertical bursts and oscillations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.oscillation import burstiness, oscillation_score
+from ..analysis.timeseries import moving_median
+from .base import ExperimentResult, registry
+from .common import ClusterScale, run_single_cluster
+
+__all__ = ["run"]
+
+
+@registry.register("fig09", "Per-node load over time, C3 vs DS (Figure 9)")
+def run(
+    strategies: tuple[str, ...] = ("C3", "DS"),
+    workload_mix: str = "read_heavy",
+    scale: ClusterScale | None = None,
+) -> ExperimentResult:
+    """Reproduce the load-vs-time comparison of Figure 9."""
+    scale = scale or ClusterScale()
+    rows = []
+    data = {}
+    for strategy in strategies:
+        result = run_single_cluster(strategy, workload_mix=workload_mix, scale=scale)
+        series = result.hottest_server_series().astype(float)
+        smoothed = moving_median(series, window=5) if series.size else series
+        rows.append(
+            [
+                strategy,
+                float(series.mean()) if series.size else 0.0,
+                float(series.std()) if series.size else 0.0,
+                float(series.max()) if series.size else 0.0,
+                oscillation_score(series),
+                burstiness(series),
+                float(np.ptp(smoothed)) if smoothed.size else 0.0,
+            ]
+        )
+        data[strategy] = {"series": series, "smoothed": smoothed, "result": result}
+    return ExperimentResult(
+        experiment_id="fig09",
+        title="Reads received per 100 ms by the hottest node over time",
+        headers=[
+            "strategy",
+            "mean/window",
+            "std/window",
+            "max/window",
+            "oscillation score",
+            "Fano factor",
+            "smoothed peak-to-peak",
+        ],
+        rows=rows,
+        notes=[
+            "Paper: C3 produces a smoother load profile free of oscillations, with per-window load "
+            "lower than DS because requests are spread over more servers.",
+        ],
+        data=data,
+    )

@@ -1,0 +1,72 @@
+"""Figure 12 — C3 vs Dynamic Snitching on SSD-backed nodes.
+
+With SSD storage the cluster sustains a higher load (the paper uses 210
+generators on m3.xlarge instances); latencies drop for both strategies, but
+C3 still improves the 99.9th percentile by more than 3× and keeps the
+p99→p99.9 gap under ~5 ms, while also raising throughput by ~50 %.
+"""
+
+from __future__ import annotations
+
+from .base import ExperimentResult, registry
+from .common import ClusterScale, run_single_cluster
+
+__all__ = ["run"]
+
+
+@registry.register("fig12", "Latency on SSD-backed nodes, C3 vs DS (Figure 12)")
+def run(
+    strategies: tuple[str, ...] = ("C3", "DS"),
+    generators: int = 105,
+    workload_mix: str = "read_heavy",
+    scale: ClusterScale | None = None,
+) -> ExperimentResult:
+    """Reproduce the SSD experiment of Figure 12."""
+    scale = scale or ClusterScale()
+    rows = []
+    data = {}
+    for strategy in strategies:
+        result = run_single_cluster(
+            strategy,
+            workload_mix=workload_mix,
+            scale=scale,
+            disk="ssd",
+            num_generators=generators,
+        )
+        summary = result.read_summary
+        rows.append(
+            [
+                strategy,
+                summary.mean,
+                summary.median,
+                summary.p95,
+                summary.p99,
+                summary.p999,
+                summary.p999 - summary.p99,
+                result.throughput_rps,
+            ]
+        )
+        data[strategy] = result
+
+    notes = [
+        "Paper: on SSD-backed instances both strategies are much faster than on spinning disks, "
+        "but C3 still improves the 99.9th percentile by more than 3x, keeps the p99-to-p99.9 gap "
+        "under ~5 ms (vs ~20 ms for DS), improves the mean by ~3 ms and the throughput by ~50 %.",
+    ]
+    if "C3" in data and "DS" in data:
+        c3, ds = data["C3"].read_summary, data["DS"].read_summary
+        if c3.p999 > 0:
+            notes.append(f"Reproduced: p99.9 improvement DS/C3 = {ds.p999 / c3.p999:.2f}x.")
+        if data["DS"].throughput_rps > 0:
+            notes.append(
+                "Reproduced: throughput C3/DS = "
+                f"{data['C3'].throughput_rps / data['DS'].throughput_rps:.2f}x."
+            )
+    return ExperimentResult(
+        experiment_id="fig12",
+        title=f"Read latencies (ms) and throughput with SSD storage ({generators} generators)",
+        headers=["strategy", "mean", "median", "p95", "p99", "p99.9", "p99.9 - p99", "throughput (ops/s)"],
+        rows=rows,
+        notes=notes,
+        data=data,
+    )

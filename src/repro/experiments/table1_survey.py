@@ -1,0 +1,75 @@
+"""Table 1 — replica selection mechanisms in popular NoSQL solutions.
+
+The table is a survey, not a measurement; it is encoded as data so that the
+report harness can regenerate it and so tests can assert the claims the rest
+of the reproduction relies on (only Cassandra ships an adaptive, load-based
+scheme — which is why it is the paper's baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import ExperimentResult, registry
+
+__all__ = ["SystemSurveyEntry", "SURVEY", "run"]
+
+
+@dataclass(frozen=True, slots=True)
+class SystemSurveyEntry:
+    """One row of Table 1."""
+
+    system: str
+    mechanism: str
+    load_based: bool
+    adaptive: bool
+
+
+#: The survey of Table 1, with the two properties the paper's argument uses.
+SURVEY: tuple[SystemSurveyEntry, ...] = (
+    SystemSurveyEntry(
+        system="Cassandra",
+        mechanism="Dynamic Snitching: considers history of read latencies and I/O load",
+        load_based=True,
+        adaptive=True,
+    ),
+    SystemSurveyEntry(
+        system="OpenStack Swift",
+        mechanism="Read from a single node and retry in case of failures",
+        load_based=False,
+        adaptive=False,
+    ),
+    SystemSurveyEntry(
+        system="MongoDB",
+        mechanism="Optionally select nearest node by network latency (no CPU or I/O load)",
+        load_based=False,
+        adaptive=False,
+    ),
+    SystemSurveyEntry(
+        system="Riak",
+        mechanism="Recommendation is to use an external load balancer such as Nginx",
+        load_based=False,
+        adaptive=False,
+    ),
+)
+
+
+@registry.register("table1", "Replica selection mechanisms in popular NoSQL solutions (Table 1)")
+def run() -> ExperimentResult:
+    """Regenerate Table 1."""
+    rows = [
+        [entry.system, entry.mechanism, "yes" if entry.load_based else "no", "yes" if entry.adaptive else "no"]
+        for entry in SURVEY
+    ]
+    adaptive_systems = [e.system for e in SURVEY if e.adaptive]
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Replica selection mechanisms in popular NoSQL solutions",
+        headers=["system", "replica selection mechanism", "load-based", "adaptive"],
+        rows=rows,
+        notes=[
+            "Only Cassandra employs a form of adaptive replica selection, which is why the paper "
+            f"(and this reproduction) uses it as the baseline. Adaptive systems: {', '.join(adaptive_systems)}.",
+        ],
+        data={"survey": SURVEY},
+    )

@@ -1,0 +1,38 @@
+"""The flat discrete-event simulation substrate (§6 of the paper)."""
+
+from .engine import Event, EventLoop, SimulationError
+from .fluctuation import BimodalFluctuation, LatencyInflation, TransientSlowdowns
+from .metrics import MetricsCollector, SimulationResult, WindowedCounter
+from .network import ConstantLatency, JitteredLatency, LognormalLatency, NetworkModel
+from .request import Request, RequestKind
+from .server import SimServer
+from .simulation import ReplicaSelectionSimulation, SimulationConfig, run_simulation
+from .client import SimClient
+from .workload import DemandSkew, PoissonArrivalProcess, WorkloadGenerator, replica_groups
+
+__all__ = [
+    "BimodalFluctuation",
+    "ConstantLatency",
+    "DemandSkew",
+    "Event",
+    "EventLoop",
+    "JitteredLatency",
+    "LatencyInflation",
+    "LognormalLatency",
+    "MetricsCollector",
+    "NetworkModel",
+    "PoissonArrivalProcess",
+    "ReplicaSelectionSimulation",
+    "Request",
+    "RequestKind",
+    "SimClient",
+    "SimServer",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResult",
+    "TransientSlowdowns",
+    "WindowedCounter",
+    "WorkloadGenerator",
+    "replica_groups",
+    "run_simulation",
+]

@@ -1,0 +1,178 @@
+"""Simulated client nodes.
+
+A client owns one :class:`~repro.strategies.base.ReplicaSelector` and drives
+it: it submits incoming requests, dispatches them over the (simulated)
+network, issues read-repair duplicates, retries backpressured requests when
+permits free up, and feeds responses (with their piggy-backed feedback) back
+into the selector.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from ..core.feedback import ServerFeedback
+from ..strategies.base import ReplicaSelector
+from .engine import Event, EventLoop
+from .metrics import MetricsCollector
+from .network import NetworkModel
+from .request import Request, RequestKind
+from .server import SimServer
+
+__all__ = ["SimClient"]
+
+#: Minimum delay before re-checking a backpressured backlog (ms).
+_MIN_RETRY_MS = 0.1
+
+
+class SimClient:
+    """A client node in the flat simulator.
+
+    Parameters
+    ----------
+    loop:
+        Shared event loop.
+    client_id:
+        Stable identifier.
+    selector:
+        The replica-selection strategy instance owned by this client.
+    servers:
+        Mapping from server id to :class:`SimServer` (used for dispatch).
+    network:
+        Network latency model.
+    metrics:
+        Shared metrics collector.
+    read_repair_probability:
+        Probability that a read is duplicated to every other replica of its
+        group (Cassandra's default of 10 % is used throughout the paper).
+    rng:
+        Random generator (read-repair coin flips).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        client_id: Hashable,
+        selector: ReplicaSelector,
+        servers: Mapping[Hashable, SimServer],
+        network: NetworkModel,
+        metrics: MetricsCollector,
+        read_repair_probability: float = 0.1,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= read_repair_probability <= 1.0:
+            raise ValueError("read_repair_probability must be in [0, 1]")
+        self.loop = loop
+        self.client_id = client_id
+        self.selector = selector
+        self.servers = servers
+        self.network = network
+        self.metrics = metrics
+        self.read_repair_probability = read_repair_probability
+        self.rng = rng or np.random.default_rng()
+
+        self._retry_event: Event | None = None
+        self.requests_handled = 0
+        self.responses_handled = 0
+        self.read_repairs_issued = 0
+
+    # -------------------------------------------------------------- entry point
+    def on_request(self, request: Request) -> None:
+        """Handle a newly generated request."""
+        self.requests_handled += 1
+        self.metrics.on_issue(request)
+        now = self.loop.now
+        decision = self.selector.submit(request, request.replica_group, now)
+        if decision.sent:
+            self._dispatch(request, decision.server_id)
+            self._maybe_read_repair(request)
+        else:
+            request.backpressured = True
+            self.metrics.on_backpressure()
+            self._schedule_retry(decision.retry_after_ms)
+
+    # ------------------------------------------------------------------ dispatch
+    def _dispatch(self, request: Request, server_id: Hashable) -> None:
+        now = self.loop.now
+        request.mark_dispatched(now, server_id)
+        server = self.servers[server_id]
+        delay = self.network.one_way_delay(self.client_id, server_id)
+        self.loop.schedule(delay, server.enqueue, request)
+
+    def _maybe_read_repair(self, request: Request) -> None:
+        """With probability p, duplicate the read to all other replicas.
+
+        The duplicates add server load and produce feedback (which lets the
+        coordinator refresh its view of every peer, per §4) but do not count
+        towards the latency distribution.
+        """
+        if request.kind != RequestKind.READ or request.is_duplicate:
+            return
+        if self.read_repair_probability <= 0.0:
+            return
+        if self.rng.random() >= self.read_repair_probability:
+            return
+        for server_id in request.replica_group:
+            if server_id == request.server_id:
+                continue
+            duplicate = Request.create(
+                client_id=self.client_id,
+                replica_group=request.replica_group,
+                created_at=self.loop.now,
+                kind=RequestKind.READ_REPAIR,
+                key=request.key,
+                record_size=request.record_size,
+                parent_id=request.request_id,
+            )
+            self.metrics.on_issue(duplicate)
+            self.selector.on_duplicate_send(server_id, self.loop.now)
+            self._dispatch(duplicate, server_id)
+            self.read_repairs_issued += 1
+
+    # ----------------------------------------------------------------- responses
+    def on_server_response(self, request: Request, feedback: ServerFeedback, service_time: float) -> None:
+        """Handle a response arriving back at the client."""
+        now = self.loop.now
+        self.responses_handled += 1
+        request.mark_completed(now)
+        response_time = (
+            now - request.dispatched_at if request.dispatched_at is not None else now - request.created_at
+        )
+        released = self.selector.on_response(request.server_id, feedback, response_time, now)
+        self.metrics.on_complete(request, now)
+        for pending_request, server_id in released:
+            self._dispatch(pending_request, server_id)
+            self._maybe_read_repair(pending_request)
+        if self.selector.pending_backlog() > 0:
+            self._schedule_retry(self.selector.next_retry_ms(now) or _MIN_RETRY_MS)
+
+    # -------------------------------------------------------------------- retries
+    def _schedule_retry(self, delay_ms: float) -> None:
+        if self._retry_event is not None and not self._retry_event.cancelled:
+            return
+        delay = max(float(delay_ms), _MIN_RETRY_MS)
+        self._retry_event = self.loop.schedule(delay, self._retry_backlog)
+
+    def _retry_backlog(self) -> None:
+        self._retry_event = None
+        now = self.loop.now
+        released = self.selector.drain_backlog(now)
+        for request, server_id in released:
+            self._dispatch(request, server_id)
+            self._maybe_read_repair(request)
+        if self.selector.pending_backlog() > 0:
+            retry = self.selector.next_retry_ms(now)
+            self._schedule_retry(retry if retry is not None else 1.0)
+
+    # ---------------------------------------------------------------- observation
+    def stats(self) -> dict:
+        """Client-level counters plus the selector's own statistics."""
+        return {
+            "client_id": self.client_id,
+            "requests_handled": self.requests_handled,
+            "responses_handled": self.responses_handled,
+            "read_repairs_issued": self.read_repairs_issued,
+            "selector": self.selector.stats(),
+        }

@@ -1,0 +1,187 @@
+"""Metric collection for simulation runs.
+
+The collector gathers per-request latencies, per-server windowed load counts
+(requests served per 100 ms window — the measurement underlying Figures 2, 8
+and 9), throughput, and backpressure counters, and produces the summary
+statistics reported throughout the paper (mean, median, 95th, 99th, 99.9th
+percentiles).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable
+
+import numpy as np
+
+from ..analysis.percentiles import LatencySummary, summarize
+from .request import Request, RequestKind
+
+__all__ = ["WindowedCounter", "MetricsCollector", "SimulationResult"]
+
+
+class WindowedCounter:
+    """Counts events in fixed-size time windows (default 100 ms)."""
+
+    def __init__(self, window_ms: float = 100.0) -> None:
+        if window_ms <= 0:
+            raise ValueError("window_ms must be positive")
+        self.window_ms = float(window_ms)
+        self._counts: dict[int, int] = defaultdict(int)
+
+    def record(self, time_ms: float, count: int = 1) -> None:
+        """Record ``count`` events at ``time_ms``."""
+        if time_ms < 0:
+            raise ValueError("time_ms must be non-negative")
+        self._counts[int(time_ms // self.window_ms)] += count
+
+    def counts(self, horizon_ms: float | None = None) -> np.ndarray:
+        """Dense per-window counts from window 0 to the last observed window.
+
+        ``horizon_ms`` extends the series with trailing zero windows up to the
+        given time, which keeps series from different runs comparable.
+        """
+        if not self._counts and horizon_ms is None:
+            return np.zeros(0, dtype=int)
+        last = max(self._counts) if self._counts else -1
+        if horizon_ms is not None:
+            last = max(last, int(horizon_ms // self.window_ms) - 1)
+        dense = np.zeros(last + 1, dtype=int)
+        for window, count in self._counts.items():
+            if window <= last:
+                dense[window] = count
+        return dense
+
+    def series(self, horizon_ms: float | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """``(window_start_times, counts)`` arrays."""
+        counts = self.counts(horizon_ms)
+        times = np.arange(len(counts)) * self.window_ms
+        return times, counts
+
+    def total(self) -> int:
+        """Total events recorded."""
+        return int(sum(self._counts.values()))
+
+
+@dataclass
+class SimulationResult:
+    """The outcome of a simulation run.
+
+    Only completed, non-duplicate data requests contribute to the latency
+    distribution (read-repair and speculative duplicates add load but are not
+    user-visible completions), matching how the paper measures latency.
+    """
+
+    latencies_ms: np.ndarray
+    read_latencies_ms: np.ndarray
+    write_latencies_ms: np.ndarray
+    duration_ms: float
+    completed_requests: int
+    issued_requests: int
+    duplicate_requests: int
+    backpressure_events: int
+    server_load_series: dict[Hashable, np.ndarray]
+    window_ms: float
+    per_server_completed: dict[Hashable, int]
+    strategy: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Completed requests per second over the run."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.completed_requests / (self.duration_ms / 1000.0)
+
+    @property
+    def summary(self) -> LatencySummary:
+        """Latency summary over all completed data requests."""
+        return summarize(self.latencies_ms)
+
+    @property
+    def read_summary(self) -> LatencySummary:
+        """Latency summary over completed reads only."""
+        return summarize(self.read_latencies_ms)
+
+    def hottest_server(self) -> Hashable | None:
+        """The server that completed the most requests (Fig. 8/9 subject)."""
+        if not self.per_server_completed:
+            return None
+        return max(self.per_server_completed, key=lambda sid: self.per_server_completed[sid])
+
+    def hottest_server_series(self) -> np.ndarray:
+        """Windowed load series of the hottest server."""
+        hottest = self.hottest_server()
+        if hottest is None:
+            return np.zeros(0, dtype=int)
+        return self.server_load_series.get(hottest, np.zeros(0, dtype=int))
+
+
+class MetricsCollector:
+    """Accumulates request completions and server load during a run."""
+
+    def __init__(self, window_ms: float = 100.0) -> None:
+        self.window_ms = float(window_ms)
+        self._latencies: list[float] = []
+        self._read_latencies: list[float] = []
+        self._write_latencies: list[float] = []
+        self._per_server_windows: dict[Hashable, WindowedCounter] = {}
+        self._per_server_completed: dict[Hashable, int] = defaultdict(int)
+        self.issued_requests = 0
+        self.duplicate_requests = 0
+        self.completed_requests = 0
+        self.backpressure_events = 0
+
+    def on_issue(self, request: Request) -> None:
+        """Record that a request entered the system."""
+        if request.is_duplicate:
+            self.duplicate_requests += 1
+        else:
+            self.issued_requests += 1
+
+    def on_backpressure(self) -> None:
+        """Record one backpressure (backlog-enqueue) event."""
+        self.backpressure_events += 1
+
+    def on_complete(self, request: Request, now: float) -> None:
+        """Record a completed request and its server-side load contribution."""
+        server_id = request.server_id
+        if server_id is not None:
+            counter = self._per_server_windows.get(server_id)
+            if counter is None:
+                counter = WindowedCounter(self.window_ms)
+                self._per_server_windows[server_id] = counter
+            counter.record(now)
+            self._per_server_completed[server_id] += 1
+        if request.is_duplicate:
+            return
+        latency = request.latency
+        if latency is None:
+            return
+        self.completed_requests += 1
+        self._latencies.append(latency)
+        if request.kind == RequestKind.WRITE:
+            self._write_latencies.append(latency)
+        else:
+            self._read_latencies.append(latency)
+
+    def result(self, duration_ms: float, strategy: str = "", extra: dict | None = None) -> SimulationResult:
+        """Freeze the collected metrics into a :class:`SimulationResult`."""
+        return SimulationResult(
+            latencies_ms=np.asarray(self._latencies, dtype=float),
+            read_latencies_ms=np.asarray(self._read_latencies, dtype=float),
+            write_latencies_ms=np.asarray(self._write_latencies, dtype=float),
+            duration_ms=float(duration_ms),
+            completed_requests=self.completed_requests,
+            issued_requests=self.issued_requests,
+            duplicate_requests=self.duplicate_requests,
+            backpressure_events=self.backpressure_events,
+            server_load_series={
+                sid: counter.counts(duration_ms) for sid, counter in self._per_server_windows.items()
+            },
+            window_ms=self.window_ms,
+            per_server_completed=dict(self._per_server_completed),
+            strategy=strategy,
+            extra=dict(extra or {}),
+        )

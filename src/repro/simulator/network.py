@@ -1,0 +1,75 @@
+"""Network latency models for the simulated system.
+
+The §6 simulations use a fixed one-way latency of 250 µs; the cluster
+substrate also uses a jittered model so that EC2-like variance can be
+explored.  Latencies are returned in milliseconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NetworkModel", "ConstantLatency", "JitteredLatency", "LognormalLatency"]
+
+
+class NetworkModel:
+    """Base class: produces one-way network delays in milliseconds."""
+
+    def one_way_delay(self, src=None, dst=None) -> float:
+        """A single one-way delay sample (ms)."""
+        raise NotImplementedError
+
+    def round_trip_delay(self, src=None, dst=None) -> float:
+        """A round-trip sample (two independent one-way draws)."""
+        return self.one_way_delay(src, dst) + self.one_way_delay(dst, src)
+
+
+class ConstantLatency(NetworkModel):
+    """Fixed one-way latency (the paper's simulations use 0.25 ms)."""
+
+    def __init__(self, delay_ms: float = 0.25) -> None:
+        if delay_ms < 0:
+            raise ValueError("delay_ms must be non-negative")
+        self.delay_ms = float(delay_ms)
+
+    def one_way_delay(self, src=None, dst=None) -> float:
+        return self.delay_ms
+
+
+class JitteredLatency(NetworkModel):
+    """Uniform jitter around a base latency: ``base ± jitter``."""
+
+    def __init__(self, base_ms: float = 0.25, jitter_ms: float = 0.05, rng: np.random.Generator | None = None) -> None:
+        if base_ms < 0 or jitter_ms < 0:
+            raise ValueError("latencies must be non-negative")
+        if jitter_ms > base_ms:
+            raise ValueError("jitter must not exceed the base latency")
+        self.base_ms = float(base_ms)
+        self.jitter_ms = float(jitter_ms)
+        self.rng = rng or np.random.default_rng()
+
+    def one_way_delay(self, src=None, dst=None) -> float:
+        if self.jitter_ms == 0:
+            return self.base_ms
+        return float(self.rng.uniform(self.base_ms - self.jitter_ms, self.base_ms + self.jitter_ms))
+
+
+class LognormalLatency(NetworkModel):
+    """Heavy-ish tailed latency (lognormal), for stress scenarios.
+
+    Parameterised by the median and a sigma controlling the spread.
+    """
+
+    def __init__(self, median_ms: float = 0.25, sigma: float = 0.3, rng: np.random.Generator | None = None) -> None:
+        if median_ms <= 0:
+            raise ValueError("median_ms must be positive")
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.median_ms = float(median_ms)
+        self.sigma = float(sigma)
+        self.rng = rng or np.random.default_rng()
+
+    def one_way_delay(self, src=None, dst=None) -> float:
+        if self.sigma == 0:
+            return self.median_ms
+        return float(self.median_ms * np.exp(self.rng.normal(0.0, self.sigma)))

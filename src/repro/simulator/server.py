@@ -1,0 +1,203 @@
+"""Simulated replica servers.
+
+Each server (mirroring §6 of the paper) maintains a FIFO request queue and
+services up to ``concurrency`` requests in parallel (4 by default).  Service
+times are drawn from an exponential distribution whose mean is the server's
+*current* service time — which a fluctuation process may change over time.
+On every response the server piggy-backs :class:`~repro.core.feedback.ServerFeedback`
+containing its queue size (recorded just before the response is dispatched)
+and its current smoothed service time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable
+
+import numpy as np
+
+from ..core.ewma import EWMA
+from ..core.feedback import ServerFeedback
+from .engine import EventLoop
+from .request import Request
+
+__all__ = ["SimServer"]
+
+
+class SimServer:
+    """A FIFO server with bounded service concurrency and feedback.
+
+    Parameters
+    ----------
+    loop:
+        The event loop driving the simulation.
+    server_id:
+        Stable identifier of this server.
+    base_service_time_ms:
+        Mean service time when the server is in its nominal state.
+    concurrency:
+        Number of requests serviced in parallel (paper: 4).
+    rng:
+        Random generator for service-time draws.
+    deterministic:
+        When True, service times equal the mean exactly (useful for unit
+        tests that need exact arithmetic).
+    on_complete:
+        Callback ``(request, feedback, service_time)`` invoked when a request
+        finishes service (before any network delay back to the client — the
+        simulation wires that part).
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        server_id: Hashable,
+        base_service_time_ms: float = 4.0,
+        concurrency: int = 4,
+        rng: np.random.Generator | None = None,
+        deterministic: bool = False,
+        on_complete: Callable[[Request, ServerFeedback, float], None] | None = None,
+        feedback_alpha: float = 0.9,
+    ) -> None:
+        if base_service_time_ms <= 0:
+            raise ValueError("base_service_time_ms must be positive")
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        self.loop = loop
+        self.server_id = server_id
+        self.base_service_time_ms = float(base_service_time_ms)
+        self.concurrency = int(concurrency)
+        self.rng = rng or np.random.default_rng()
+        self.deterministic = deterministic
+        self.on_complete = on_complete
+
+        self._service_time_multiplier = 1.0
+        self._queue: deque[Request] = deque()
+        self._in_service = 0
+        self._service_time_ewma = EWMA(feedback_alpha, initial=base_service_time_ms)
+
+        # Counters / instrumentation.
+        self.requests_received = 0
+        self.requests_completed = 0
+        self.busy_time_ms = 0.0
+        self.max_queue_length = 0
+        self.cumulative_queue_samples = 0.0
+        self.queue_samples = 0
+
+    # ------------------------------------------------------------- properties
+    @property
+    def current_service_time_ms(self) -> float:
+        """Mean service time in the server's current state."""
+        return self.base_service_time_ms * self._service_time_multiplier
+
+    @property
+    def current_service_rate(self) -> float:
+        """Requests per ms per service slot in the current state."""
+        return 1.0 / self.current_service_time_ms
+
+    @property
+    def queue_length(self) -> int:
+        """Requests waiting for a service slot (excludes in-service)."""
+        return len(self._queue)
+
+    @property
+    def pending_requests(self) -> int:
+        """Waiting plus in-service requests — the queue size C3 feeds back."""
+        return len(self._queue) + self._in_service
+
+    @property
+    def in_service(self) -> int:
+        """Requests currently occupying a service slot."""
+        return self._in_service
+
+    @property
+    def smoothed_service_time(self) -> float:
+        """The server-side EWMA of observed service times (ms)."""
+        return self._service_time_ewma.value
+
+    # --------------------------------------------------------------- controls
+    def set_service_time_multiplier(self, multiplier: float) -> None:
+        """Change the server's speed (used by fluctuation / GC / compaction).
+
+        A multiplier above 1 slows the server down; below 1 speeds it up.
+        Only affects requests whose service starts after the change.
+        """
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        self._service_time_multiplier = float(multiplier)
+
+    def set_service_rate_multiplier(self, multiplier: float) -> None:
+        """Change speed expressed as a rate multiplier (rate × multiplier)."""
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        self._service_time_multiplier = 1.0 / float(multiplier)
+
+    # ------------------------------------------------------------ request path
+    def enqueue(self, request: Request) -> None:
+        """Accept a request arriving at the server at the current sim time."""
+        self.requests_received += 1
+        self.cumulative_queue_samples += self.pending_requests
+        self.queue_samples += 1
+        self._queue.append(request)
+        self.max_queue_length = max(self.max_queue_length, self.pending_requests)
+        self._try_start_service()
+
+    def _try_start_service(self) -> None:
+        while self._in_service < self.concurrency and self._queue:
+            request = self._queue.popleft()
+            self._in_service += 1
+            request.started_service_at = self.loop.now
+            service_time = self._draw_service_time(request)
+            request.service_time = service_time
+            self.loop.schedule(service_time, self._finish_service, request, service_time)
+
+    def _draw_service_time(self, request: Request) -> float:
+        mean = self.current_service_time_ms * self._size_factor(request)
+        if self.deterministic:
+            return mean
+        return float(self.rng.exponential(mean))
+
+    def _size_factor(self, request: Request) -> float:
+        """Scale service time with record size (1 KB is the baseline)."""
+        if request.record_size <= 0:
+            return 1.0
+        return max(0.25, request.record_size / 1024.0)
+
+    def _finish_service(self, request: Request, service_time: float) -> None:
+        self._in_service -= 1
+        self.requests_completed += 1
+        self.busy_time_ms += service_time
+        self._service_time_ewma.update(service_time)
+        # Feedback is recorded after the request has been serviced, just
+        # before the response is dispatched (per §3.1).
+        feedback = ServerFeedback(
+            queue_size=self.pending_requests,
+            service_time=max(self.smoothed_service_time, 1e-3),
+            server_id=self.server_id,
+        )
+        self._try_start_service()
+        if self.on_complete is not None:
+            self.on_complete(request, feedback, service_time)
+
+    # ------------------------------------------------------------ observation
+    def utilization(self, elapsed_ms: float) -> float:
+        """Fraction of capacity used over ``elapsed_ms`` of simulated time."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return self.busy_time_ms / (elapsed_ms * self.concurrency)
+
+    def stats(self) -> dict:
+        """Summary statistics for reporting."""
+        return {
+            "server_id": self.server_id,
+            "received": self.requests_received,
+            "completed": self.requests_completed,
+            "queue_length": self.queue_length,
+            "pending": self.pending_requests,
+            "max_queue_length": self.max_queue_length,
+            "mean_queue_on_arrival": (
+                self.cumulative_queue_samples / self.queue_samples if self.queue_samples else 0.0
+            ),
+            "busy_time_ms": self.busy_time_ms,
+            "current_service_time_ms": self.current_service_time_ms,
+        }

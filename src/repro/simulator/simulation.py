@@ -1,0 +1,228 @@
+"""End-to-end assembly of the §6 flat simulation.
+
+:class:`SimulationConfig` captures the parameters of one run (number of
+servers/clients, utilization, fluctuation interval, strategy, …) with
+defaults matching the paper;  :class:`ReplicaSelectionSimulation` wires the
+servers, clients, selectors, fluctuation process and workload generator
+together and runs the event loop until every generated request completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Hashable
+
+import numpy as np
+
+from ..core.config import C3Config
+from ..strategies import make_selector
+from .client import SimClient
+from .engine import EventLoop
+from .fluctuation import BimodalFluctuation
+from .metrics import MetricsCollector, SimulationResult
+from .network import ConstantLatency, NetworkModel
+from .request import Request
+from .server import SimServer
+from .workload import DemandSkew, WorkloadGenerator, replica_groups
+
+__all__ = ["SimulationConfig", "ReplicaSelectionSimulation", "run_simulation"]
+
+
+@dataclass(slots=True)
+class SimulationConfig:
+    """Parameters of one flat-simulator run.
+
+    The defaults mirror §6 of the paper, scaled down in request count so a
+    run completes in seconds: 50 servers, RF 3, 4-way service concurrency,
+    exponential service times with a 4 ms mean, 0.25 ms one-way network
+    latency, 10 % read repair, bimodal service-rate fluctuation with D = 3.
+    """
+
+    num_servers: int = 50
+    replication_factor: int = 3
+    num_clients: int = 150
+    num_requests: int = 20_000
+    mean_service_time_ms: float = 4.0
+    server_concurrency: int = 4
+    utilization: float = 0.7
+    fluctuation_interval_ms: float = 100.0
+    fluctuation_multiplier: float = 3.0
+    fluctuation_enabled: bool = True
+    network_delay_ms: float = 0.25
+    read_repair_probability: float = 0.1
+    strategy: str = "C3"
+    seed: int = 0
+    demand_skew: DemandSkew | None = None
+    record_size: int = 1024
+    read_fraction: float = 1.0
+    c3_config: C3Config | None = None
+    arrival_rate_per_ms: float | None = None
+    max_sim_time_ms: float = 600_000.0
+    load_window_ms: float = 100.0
+    record_rate_history: bool = False
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_servers < self.replication_factor:
+            raise ValueError("num_servers must be >= replication_factor")
+        if self.num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        if self.num_requests < 0:
+            raise ValueError("num_requests must be >= 0")
+        if not 0.0 < self.utilization <= 1.5:
+            raise ValueError("utilization must be in (0, 1.5]")
+        if self.mean_service_time_ms <= 0:
+            raise ValueError("mean_service_time_ms must be positive")
+
+    @property
+    def effective_rate_multiplier(self) -> float:
+        """Average per-slot service-rate multiplier under fluctuation."""
+        if not self.fluctuation_enabled:
+            return 1.0
+        return (1.0 + self.fluctuation_multiplier) / 2.0
+
+    @property
+    def system_capacity_per_ms(self) -> float:
+        """Mean system service capacity in requests per millisecond."""
+        per_slot_rate = self.effective_rate_multiplier / self.mean_service_time_ms
+        return self.num_servers * self.server_concurrency * per_slot_rate
+
+    @property
+    def target_arrival_rate_per_ms(self) -> float:
+        """Arrival rate implied by the utilization (unless overridden)."""
+        if self.arrival_rate_per_ms is not None:
+            return self.arrival_rate_per_ms
+        return self.utilization * self.system_capacity_per_ms
+
+    def copy(self, **overrides) -> "SimulationConfig":
+        """A copy of this config with ``overrides`` applied."""
+        return replace(self, **overrides)
+
+
+class ReplicaSelectionSimulation:
+    """Builds and runs one flat-simulator scenario."""
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self.config = config
+        self.loop = EventLoop()
+        self.rng = np.random.default_rng(config.seed)
+        self.metrics = MetricsCollector(window_ms=config.load_window_ms)
+        self.network: NetworkModel = ConstantLatency(config.network_delay_ms)
+
+        self.servers: dict[Hashable, SimServer] = {}
+        self.clients: list[SimClient] = []
+        self.groups = replica_groups(config.num_servers, config.replication_factor)
+        self.fluctuation: BimodalFluctuation | None = None
+        self.generator: WorkloadGenerator | None = None
+        self._build()
+
+    # ---------------------------------------------------------------- assembly
+    def _build(self) -> None:
+        cfg = self.config
+        for sid in range(cfg.num_servers):
+            server_rng = np.random.default_rng(self.rng.integers(2**63))
+            server = SimServer(
+                loop=self.loop,
+                server_id=sid,
+                base_service_time_ms=cfg.mean_service_time_ms,
+                concurrency=cfg.server_concurrency,
+                rng=server_rng,
+                on_complete=None,
+            )
+            server.on_complete = self._make_completion_handler()
+            self.servers[sid] = server
+
+        c3_config = cfg.c3_config or C3Config().with_clients(cfg.num_clients)
+        for cid in range(cfg.num_clients):
+            selector_rng = np.random.default_rng(self.rng.integers(2**63))
+            selector = make_selector(
+                cfg.strategy,
+                config=c3_config,
+                rng=selector_rng,
+                server_state_fn=self._server_state,
+                record_rate_history=cfg.record_rate_history,
+            )
+            client_rng = np.random.default_rng(self.rng.integers(2**63))
+            client = SimClient(
+                loop=self.loop,
+                client_id=cid,
+                selector=selector,
+                servers=self.servers,
+                network=self.network,
+                metrics=self.metrics,
+                read_repair_probability=cfg.read_repair_probability,
+                rng=client_rng,
+            )
+            self.clients.append(client)
+
+        if cfg.fluctuation_enabled:
+            fluct_rng = np.random.default_rng(self.rng.integers(2**63))
+            self.fluctuation = BimodalFluctuation(
+                loop=self.loop,
+                servers=list(self.servers.values()),
+                interval_ms=cfg.fluctuation_interval_ms,
+                rate_multiplier=cfg.fluctuation_multiplier,
+                rng=fluct_rng,
+            )
+
+        workload_rng = np.random.default_rng(self.rng.integers(2**63))
+        self.generator = WorkloadGenerator(
+            loop=self.loop,
+            clients=self.clients,
+            groups=self.groups,
+            rate_per_ms=cfg.target_arrival_rate_per_ms,
+            total_requests=cfg.num_requests,
+            demand_skew=cfg.demand_skew,
+            read_fraction=cfg.read_fraction,
+            record_size=cfg.record_size,
+            rng=workload_rng,
+        )
+
+    def _make_completion_handler(self):
+        def on_complete(request: Request, feedback, service_time: float) -> None:
+            client = self.clients[self._client_index(request.client_id)]
+            delay = self.network.one_way_delay(request.server_id, request.client_id)
+            self.loop.schedule(delay, client.on_server_response, request, feedback, service_time)
+
+        return on_complete
+
+    def _client_index(self, client_id: Hashable) -> int:
+        # Client ids are assigned densely (0..n-1) by _build.
+        return int(client_id)
+
+    def _server_state(self, server_id: Hashable) -> tuple[float, float]:
+        server = self.servers[server_id]
+        return (server.pending_requests, server.current_service_time_ms)
+
+    # --------------------------------------------------------------------- run
+    def run(self) -> SimulationResult:
+        """Run the scenario to completion and return the collected metrics."""
+        cfg = self.config
+        if self.fluctuation is not None:
+            self.fluctuation.start()
+        assert self.generator is not None
+        self.generator.start()
+
+        # The fluctuation process schedules events forever, so the loop is
+        # advanced in slices until every data request has completed (or the
+        # hard time cap is hit, which indicates an unstable configuration).
+        slice_ms = max(10.0, cfg.fluctuation_interval_ms)
+        while (
+            self.metrics.completed_requests < cfg.num_requests
+            and self.loop.now < cfg.max_sim_time_ms
+        ):
+            self.loop.run(until=self.loop.now + slice_ms)
+
+        duration = self.loop.now
+        extra = {
+            "config": cfg,
+            "clients": len(self.clients),
+            "servers": len(self.servers),
+            "backlog_remaining": sum(c.selector.pending_backlog() for c in self.clients),
+        }
+        return self.metrics.result(duration_ms=duration, strategy=cfg.strategy, extra=extra)
+
+
+def run_simulation(config: SimulationConfig) -> SimulationResult:
+    """Convenience helper: build and run a scenario in one call."""
+    return ReplicaSelectionSimulation(config).run()

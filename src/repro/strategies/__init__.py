@@ -1,0 +1,106 @@
+"""Replica-selection strategies: C3 and every baseline used in the paper.
+
+The :func:`make_selector` factory builds selectors by name, which is how the
+simulation configs and the experiment harness request strategies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+import numpy as np
+
+from ..core.config import C3Config
+from .base import ReplicaSelector, SelectorDecision, StatefulSelector
+from .c3 import C3Selector
+from .dynamic_snitch import DynamicSnitchSelector
+from .least_outstanding import LeastOutstandingSelector
+from .least_response_time import LeastResponseTimeSelector
+from .oracle import OracleSelector
+from .power_of_two import PowerOfTwoSelector
+from .random_choice import RandomSelector
+from .round_robin import RoundRobinSelector
+from .weighted_random import WeightedRandomSelector
+
+__all__ = [
+    "C3Selector",
+    "DynamicSnitchSelector",
+    "LeastOutstandingSelector",
+    "LeastResponseTimeSelector",
+    "OracleSelector",
+    "PowerOfTwoSelector",
+    "RandomSelector",
+    "ReplicaSelector",
+    "RoundRobinSelector",
+    "SelectorDecision",
+    "StatefulSelector",
+    "WeightedRandomSelector",
+    "STRATEGY_NAMES",
+    "make_selector",
+]
+
+#: Canonical names accepted by :func:`make_selector`.
+STRATEGY_NAMES = (
+    "C3",
+    "ORA",
+    "LOR",
+    "RR",
+    "RAND",
+    "LRT",
+    "P2C",
+    "WRAND",
+    "DS",
+)
+
+
+def make_selector(
+    name: str,
+    *,
+    config: C3Config | None = None,
+    rng: np.random.Generator | None = None,
+    server_state_fn: Callable[[Hashable], tuple[float, float]] | None = None,
+    iowait_fn: Callable[[Hashable], float] | None = None,
+    record_rate_history: bool = False,
+    **kwargs,
+) -> ReplicaSelector:
+    """Build a selector by its canonical name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`STRATEGY_NAMES` (case-insensitive).
+    config:
+        C3 configuration, used by the C3 and RR (rate-limited) strategies.
+    rng:
+        Random generator for strategies that randomise tie-breaks.
+    server_state_fn:
+        Ground-truth callback required by the ``ORA`` strategy.
+    iowait_fn:
+        Gossip callback used by the ``DS`` strategy.
+    record_rate_history:
+        Enables per-server rate traces on the C3 strategy (Figure 13).
+    kwargs:
+        Extra keyword arguments forwarded to the selector constructor.
+    """
+    key = name.strip().upper()
+    if key == "C3":
+        return C3Selector(config=config, record_rate_history=record_rate_history, **kwargs)
+    if key in ("ORA", "ORACLE"):
+        if server_state_fn is None:
+            raise ValueError("the ORA strategy requires server_state_fn")
+        return OracleSelector(server_state_fn=server_state_fn, **kwargs)
+    if key in ("LOR", "LEAST_OUTSTANDING"):
+        return LeastOutstandingSelector(rng=rng, **kwargs)
+    if key in ("RR", "ROUND_ROBIN"):
+        return RoundRobinSelector(config=config, **kwargs)
+    if key in ("RAND", "RANDOM"):
+        return RandomSelector(rng=rng, **kwargs)
+    if key in ("LRT", "LEAST_RESPONSE_TIME"):
+        return LeastResponseTimeSelector(rng=rng, **kwargs)
+    if key in ("P2C", "POWER_OF_TWO"):
+        return PowerOfTwoSelector(rng=rng, **kwargs)
+    if key in ("WRAND", "WEIGHTED_RANDOM"):
+        return WeightedRandomSelector(rng=rng, **kwargs)
+    if key in ("DS", "DYNAMIC_SNITCH"):
+        return DynamicSnitchSelector(iowait_fn=iowait_fn, rng=rng, **kwargs)
+    raise ValueError(f"unknown strategy {name!r}; valid names: {', '.join(STRATEGY_NAMES)}")

@@ -1,0 +1,85 @@
+"""The C3 strategy adapter — wraps the core scheduler behind the selector API."""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..core.config import C3Config
+from ..core.feedback import ServerFeedback
+from ..core.scheduler import C3Scheduler
+from .base import ReplicaSelector, SelectorDecision
+
+__all__ = ["C3Selector"]
+
+
+class C3Selector(ReplicaSelector):
+    """Replica selection with C3 ranking, rate control and backpressure.
+
+    Parameters
+    ----------
+    config:
+        The :class:`~repro.core.config.C3Config` controlling scoring and rate
+        control.  Remember to call :meth:`C3Config.with_clients` (or set
+        ``concurrency_weight``) so the concurrency compensation matches the
+        deployment, as the paper prescribes.
+    record_rate_history:
+        Forwarded to the scheduler; enables the Figure 13 rate traces.
+    """
+
+    name = "C3"
+
+    def __init__(self, config: C3Config | None = None, record_rate_history: bool = False) -> None:
+        self.config = config or C3Config()
+        self.scheduler = C3Scheduler(self.config, record_rate_history=record_rate_history)
+
+    # ------------------------------------------------------------------ sends
+    def submit(self, request: object, replica_group: Sequence[Hashable], now: float) -> SelectorDecision:
+        decision = self.scheduler.submit(request, replica_group, now)
+        return SelectorDecision(
+            server_id=decision.server_id,
+            backpressured=decision.backpressured,
+            retry_after_ms=decision.retry_after_ms,
+        )
+
+    def on_duplicate_send(self, server_id: Hashable, now: float) -> None:
+        # Read-repair duplicates occupy the server and will generate
+        # feedback, so they must be reflected in the outstanding count even
+        # though they bypass ranking and rate limiting.
+        self.scheduler.scorer.on_send(server_id, now)
+
+    # -------------------------------------------------------------- responses
+    def on_response(
+        self,
+        server_id: Hashable,
+        feedback: ServerFeedback | None,
+        response_time: float,
+        now: float,
+    ) -> list[tuple[object, Hashable]]:
+        released = self.scheduler.on_response(server_id, feedback, response_time, now)
+        return [(entry.request, chosen) for entry, chosen in released]
+
+    def on_timeout(self, server_id: Hashable, now: float) -> None:
+        self.scheduler.on_timeout(server_id, now)
+
+    # ---------------------------------------------------------------- backlog
+    def drain_backlog(self, now: float) -> list[tuple[object, Hashable]]:
+        released = self.scheduler.drain_backlog(now)
+        return [(entry.request, chosen) for entry, chosen in released]
+
+    def pending_backlog(self) -> int:
+        return self.scheduler.pending_backlog()
+
+    def next_retry_ms(self, now: float) -> float | None:
+        return self.scheduler.next_backlog_retry_ms(now)
+
+    # ------------------------------------------------------------ observation
+    def sending_rates(self) -> dict[Hashable, float]:
+        """Current per-server sending rates (requests per δ window)."""
+        return self.scheduler.sending_rates()
+
+    def rate_history(self, server_id: Hashable):
+        """The recorded rate adjustments for one server (Figure 13 traces)."""
+        return self.scheduler.rate_control.controller(server_id).history
+
+    def stats(self) -> dict:
+        return self.scheduler.stats()

@@ -1,0 +1,16 @@
+"""YCSB-style workload generation: key skew, record sizes and operation mixes."""
+
+from .records import FixedRecordSize, ZipfSkewedRecordSize
+from .ycsb import WORKLOAD_MIXES, Operation, WorkloadMix, YCSBWorkload
+from .zipf import UniformKeyGenerator, ZipfianGenerator
+
+__all__ = [
+    "FixedRecordSize",
+    "Operation",
+    "UniformKeyGenerator",
+    "WORKLOAD_MIXES",
+    "WorkloadMix",
+    "YCSBWorkload",
+    "ZipfSkewedRecordSize",
+    "ZipfianGenerator",
+]

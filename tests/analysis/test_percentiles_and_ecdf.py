@@ -1,0 +1,92 @@
+"""Unit tests for percentile summaries and ECDFs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ecdf import ecdf
+from repro.analysis.percentiles import LatencySummary, percentile, summarize, tail_to_median_ratio
+
+
+class TestPercentile:
+    def test_known_values(self):
+        samples = list(range(1, 101))
+        assert percentile(samples, 50) == pytest.approx(50.5)
+        assert percentile(samples, 100) == 100
+
+    def test_empty_returns_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        samples = np.arange(1, 1001, dtype=float)
+        summary = summarize(samples)
+        assert summary.count == 1000
+        assert summary.mean == pytest.approx(500.5)
+        assert summary.median == pytest.approx(500.5)
+        assert summary.p99 == pytest.approx(990.01, rel=1e-3)
+        assert summary.minimum == 1.0 and summary.maximum == 1000.0
+
+    def test_empty_summary_is_zeroed(self):
+        summary = summarize([])
+        assert summary.count == 0 and summary.mean == 0.0 and summary.tail_ratio == 0.0
+
+    def test_tail_span_and_ratio(self):
+        summary = LatencySummary(10, 5.0, 4.0, 8.0, 9.0, 12.0, 1.0, 12.0, 1.0)
+        assert summary.tail_span == 8.0
+        assert summary.tail_ratio == 3.0
+
+    def test_as_dict_keys(self):
+        d = summarize([1.0, 2.0, 3.0]).as_dict()
+        assert {"mean", "median", "p95", "p99", "p99.9", "tail_ratio"} <= set(d)
+
+    def test_str_is_informative(self):
+        assert "p99" in str(summarize([1.0, 2.0]))
+
+    def test_tail_to_median_ratio(self):
+        samples = [1.0] * 99 + [100.0]
+        assert tail_to_median_ratio(samples, 99.9) > 1.0
+        assert tail_to_median_ratio([], 99.9) == 0.0
+
+
+class TestECDF:
+    def test_probabilities_reach_one(self):
+        cdf = ecdf([3.0, 1.0, 2.0])
+        assert cdf.probabilities[-1] == pytest.approx(1.0)
+        assert list(cdf.values) == [1.0, 2.0, 3.0]
+
+    def test_evaluate(self):
+        cdf = ecdf([1.0, 2.0, 3.0, 4.0])
+        assert cdf.evaluate(2.5) == pytest.approx(0.5)
+        assert cdf.evaluate(0.0) == 0.0
+        assert cdf.evaluate(10.0) == 1.0
+
+    def test_quantile(self):
+        cdf = ecdf(list(range(1, 101)))
+        assert cdf.quantile(0.5) == 50
+        assert cdf.quantile(0.99) == 99
+        assert cdf.quantile(0.0) == 1
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            ecdf([1.0]).quantile(1.5)
+
+    def test_tail_table(self):
+        table = ecdf(list(range(1, 1001))).tail_table()
+        assert set(table) == {0.5, 0.95, 0.99, 0.999}
+
+    def test_empty_ecdf(self):
+        cdf = ecdf([])
+        assert len(cdf) == 0
+        assert cdf.evaluate(1.0) == 0.0
+        assert cdf.quantile(0.5) == 0.0
+
+    def test_mismatched_shapes_rejected(self):
+        from repro.analysis.ecdf import ECDF
+
+        with pytest.raises(ValueError):
+            ECDF(values=np.array([1.0, 2.0]), probabilities=np.array([1.0]))

@@ -1,0 +1,130 @@
+"""Unit tests for time-series helpers, oscillation metrics and reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.oscillation import burstiness, load_conditioning, oscillation_score
+from repro.analysis.report import format_comparison, format_summary_rows, format_table, indent
+from repro.analysis.timeseries import downsample, moving_average, moving_median, window_counts
+
+
+class TestMovingMedian:
+    def test_constant_series_unchanged(self):
+        series = np.full(20, 7.0)
+        assert np.allclose(moving_median(series, 5), series)
+
+    def test_median_suppresses_spikes(self):
+        series = np.array([1.0, 1.0, 100.0, 1.0, 1.0, 1.0])
+        smoothed = moving_median(series, window=3)
+        assert smoothed.max() < 100.0
+
+    def test_empty_series(self):
+        assert moving_median(np.array([]), 5).size == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_median([1.0], 0)
+
+
+class TestMovingAverage:
+    def test_matches_numpy_for_full_window(self):
+        series = np.arange(10, dtype=float)
+        avg = moving_average(series, window=3)
+        assert avg[-1] == pytest.approx(np.mean(series[-3:]))
+
+    def test_warmup_uses_expanding_window(self):
+        avg = moving_average([2.0, 4.0, 6.0], window=10)
+        assert avg[0] == 2.0
+        assert avg[1] == 3.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+
+class TestWindowCounts:
+    def test_basic_binning(self):
+        counts = window_counts([5.0, 15.0, 25.0, 26.0], window_ms=10.0)
+        assert list(counts) == [1, 1, 2]
+
+    def test_horizon_extends_series(self):
+        counts = window_counts([5.0], window_ms=10.0, horizon_ms=50.0)
+        assert len(counts) == 6
+
+    def test_empty_with_horizon(self):
+        assert len(window_counts([], window_ms=10.0, horizon_ms=30.0)) == 3
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            window_counts([1.0], window_ms=0.0)
+
+
+class TestDownsample:
+    def test_no_op_for_short_series(self):
+        series = np.arange(5, dtype=float)
+        assert np.array_equal(downsample(series, 10), series)
+
+    def test_reduces_length(self):
+        assert len(downsample(np.arange(1000, dtype=float), 100)) == 100
+
+    def test_invalid_max_points(self):
+        with pytest.raises(ValueError):
+            downsample([1.0], 0)
+
+
+class TestOscillationMetrics:
+    def test_smooth_series_scores_low(self):
+        smooth = np.full(100, 50.0)
+        oscillating = np.tile([0.0, 100.0], 50)
+        assert oscillation_score(smooth) < oscillation_score(oscillating)
+
+    def test_burstiness_of_poisson_like_series_near_one(self):
+        rng = np.random.default_rng(0)
+        series = rng.poisson(50, size=2000)
+        assert burstiness(series) == pytest.approx(1.0, abs=0.2)
+
+    def test_burstiness_of_oscillating_series_is_high(self):
+        series = np.tile([0.0, 100.0], 100)
+        assert burstiness(series) > 10.0
+
+    def test_load_conditioning_report(self):
+        series = np.array([10.0, 20.0, 0.0, 30.0, 40.0])
+        report = load_conditioning(series)
+        assert report.windows == 5
+        assert report.maximum == 40.0
+        assert report.zero_fraction == pytest.approx(0.2)
+        assert report.spread_p99_median == pytest.approx(report.p99 - report.median)
+        assert "cv" in report.as_dict()
+
+    def test_empty_series_metrics(self):
+        assert oscillation_score([]) == 0.0
+        assert burstiness([]) == 0.0
+        assert load_conditioning([]).windows == 0
+
+
+class TestReportFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.234], ["long-name", 22.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.23" in text and "22.00" in text
+
+    def test_format_table_with_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_format_summary_rows(self):
+        summaries = {"C3": {"mean": 1.0, "median": 2.0}, "DS": {"mean": 3.0, "median": 4.0}}
+        text = format_summary_rows(summaries, columns=("mean", "median"))
+        assert "C3" in text and "DS" in text
+
+    def test_format_comparison_includes_ratio(self):
+        text = format_comparison("DS", {"p99": 30.0}, "C3", {"p99": 10.0}, columns=("p99",))
+        assert "3.00" in text
+
+    def test_format_comparison_handles_zero_candidate(self):
+        text = format_comparison("DS", {"p99": 30.0}, "C3", {"p99": 0.0}, columns=("p99",))
+        assert "inf" in text
+
+    def test_indent(self):
+        assert indent("a\nb") == "  a\n  b"

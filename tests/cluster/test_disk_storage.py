@@ -1,0 +1,127 @@
+"""Unit tests for the disk models and storage engine."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.disk import DiskModel, DiskProfile, HDD_PROFILE, SSD_PROFILE
+from repro.cluster.storage import StorageEngine
+
+
+class TestDiskProfiles:
+    def test_ssd_faster_than_hdd(self):
+        assert SSD_PROFILE.read_ms < HDD_PROFILE.read_ms
+        assert SSD_PROFILE.seek_penalty_ms < HDD_PROFILE.seek_penalty_ms
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ValueError):
+            DiskProfile("bad", read_ms=0.0, write_ms=1.0, seek_penalty_ms=0.0, compaction_read_factor=1.0, cache_hit_ms=0.1)
+        with pytest.raises(ValueError):
+            DiskProfile("bad", read_ms=1.0, write_ms=1.0, seek_penalty_ms=-1.0, compaction_read_factor=1.0, cache_hit_ms=0.1)
+        with pytest.raises(ValueError):
+            DiskProfile("bad", read_ms=1.0, write_ms=1.0, seek_penalty_ms=0.0, compaction_read_factor=0.5, cache_hit_ms=0.1)
+
+
+class TestDiskModel:
+    def _model(self, profile=HDD_PROFILE):
+        return DiskModel(profile, rng=np.random.default_rng(0), deterministic=True)
+
+    def test_cache_hit_is_fast(self):
+        model = self._model()
+        assert model.read_time(cache_hit=True) == HDD_PROFILE.cache_hit_ms
+
+    def test_concurrency_adds_seek_penalty(self):
+        model = self._model()
+        idle = model.read_time(concurrent_reads=0)
+        busy = model.read_time(concurrent_reads=5)
+        assert busy == pytest.approx(idle + 5 * HDD_PROFILE.seek_penalty_ms)
+
+    def test_compaction_multiplies_read_time(self):
+        model = self._model()
+        normal = model.read_time()
+        compacting = model.read_time(compacting=True)
+        assert compacting == pytest.approx(normal * HDD_PROFILE.compaction_read_factor)
+
+    def test_size_factor_scales(self):
+        model = self._model()
+        assert model.read_time(size_factor=2.0) == pytest.approx(model.read_time(size_factor=1.0) * 2.0)
+
+    def test_write_time_cheaper_than_read(self):
+        model = self._model()
+        assert model.write_time() < model.read_time()
+
+    def test_random_read_times_have_expected_mean(self):
+        model = DiskModel(HDD_PROFILE, rng=np.random.default_rng(1))
+        samples = [model.read_time() for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(HDD_PROFILE.read_ms, rel=0.1)
+
+    def test_counters(self):
+        model = self._model()
+        model.read_time()
+        model.write_time()
+        assert model.reads_sampled == 1 and model.writes_sampled == 1
+
+    def test_validation(self):
+        model = self._model()
+        with pytest.raises(ValueError):
+            model.read_time(concurrent_reads=-1)
+        with pytest.raises(ValueError):
+            model.read_time(size_factor=0.0)
+        with pytest.raises(ValueError):
+            model.write_time(size_factor=-1.0)
+
+
+class TestStorageEngine:
+    def _engine(self, **kwargs):
+        defaults = dict(cache_hit_probability=0.0, rng=np.random.default_rng(0), deterministic=True)
+        defaults.update(kwargs)
+        return StorageEngine(**defaults)
+
+    def test_read_service_time_positive(self):
+        engine = self._engine()
+        assert engine.read_service_time(concurrent_reads=0) > 0
+
+    def test_compaction_slows_reads_and_raises_iowait(self):
+        engine = self._engine()
+        normal = engine.read_service_time(0)
+        engine.begin_compaction()
+        compacting = engine.read_service_time(0)
+        assert compacting > normal
+        assert engine.iowait >= 0.6
+        engine.end_compaction()
+        assert engine.iowait < 0.6
+        assert engine.compactions == 1
+
+    def test_cache_hits_speed_up_reads(self):
+        always_hit = self._engine(cache_hit_probability=1.0)
+        never_hit = self._engine(cache_hit_probability=0.0)
+        assert always_hit.read_service_time(0) < never_hit.read_service_time(0)
+
+    def test_iowait_tracks_read_concurrency(self):
+        engine = self._engine()
+        idle_iowait = engine.iowait
+        for _ in range(50):
+            engine.read_service_time(concurrent_reads=16)
+        assert engine.iowait > idle_iowait
+        assert 0.0 <= engine.iowait <= 1.0
+
+    def test_write_service_time(self):
+        engine = self._engine()
+        assert engine.write_service_time() > 0
+        assert engine.writes_served == 1
+
+    def test_record_size_scales_service(self):
+        engine = self._engine()
+        small = engine.read_service_time(0, record_size=1024)
+        large = engine.read_service_time(0, record_size=4096)
+        assert large > small
+
+    def test_stats_shape(self):
+        engine = self._engine()
+        engine.read_service_time(0)
+        stats = engine.stats()
+        assert stats["reads_served"] == 1
+        assert stats["disk_profile"] == "hdd"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StorageEngine(cache_hit_probability=1.5)

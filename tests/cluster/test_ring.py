@@ -1,0 +1,72 @@
+"""Unit tests for the token ring."""
+
+import pytest
+
+from repro.cluster.ring import TokenRing
+
+
+class TestTokenRing:
+    def test_replicas_are_distinct_and_rf_sized(self):
+        ring = TokenRing(list(range(10)), replication_factor=3)
+        for key in range(200):
+            group = ring.replicas_for(key)
+            assert len(group) == 3
+            assert len(set(group)) == 3
+
+    def test_primary_is_first_replica(self):
+        ring = TokenRing(list(range(7)), replication_factor=3)
+        for key in range(100):
+            assert ring.primary_for(key) == ring.replicas_for(key)[0]
+
+    def test_same_key_maps_to_same_replicas(self):
+        ring = TokenRing(list(range(5)), replication_factor=2)
+        assert ring.replicas_for("user:42") == ring.replicas_for("user:42")
+
+    def test_replica_groups_are_consecutive_on_the_ring(self):
+        nodes = ["n0", "n1", "n2", "n3"]
+        ring = TokenRing(nodes, replication_factor=2)
+        groups = ring.replica_groups()
+        assert ("n0", "n1") in groups and ("n3", "n0") in groups
+        assert len(groups) == 4
+
+    def test_ownership_is_roughly_balanced(self):
+        ring = TokenRing(list(range(8)), replication_factor=3)
+        counts = {node: 0 for node in range(8)}
+        for key in range(8000):
+            counts[ring.primary_for(key)] += 1
+        # Evenly spaced tokens + md5 key hashing → each node owns ~1/8.
+        for count in counts.values():
+            assert 0.5 * 1000 < count < 1.6 * 1000
+
+    def test_ownership_fraction(self):
+        ring = TokenRing(list(range(4)))
+        assert ring.ownership_fraction(2) == pytest.approx(0.25)
+        with pytest.raises(KeyError):
+            ring.ownership_fraction("ghost")
+
+    def test_every_node_appears_in_rf_groups(self):
+        ring = TokenRing(list(range(6)), replication_factor=3)
+        membership = {node: 0 for node in range(6)}
+        for group in ring.replica_groups():
+            for node in group:
+                membership[node] += 1
+        assert all(count == 3 for count in membership.values())
+
+    def test_contains_and_len(self):
+        ring = TokenRing(["a", "b", "c"])
+        assert "a" in ring and "z" not in ring
+        assert len(ring) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenRing([])
+        with pytest.raises(ValueError):
+            TokenRing(["a", "a"])
+        with pytest.raises(ValueError):
+            TokenRing(["a", "b"], replication_factor=3)
+        with pytest.raises(ValueError):
+            TokenRing(["a", "b"], replication_factor=0)
+
+    def test_rf_one(self):
+        ring = TokenRing(["a", "b", "c"], replication_factor=1)
+        assert all(len(ring.replicas_for(k)) == 1 for k in range(20))

@@ -1,0 +1,130 @@
+"""Unit tests for the closed-loop generator bridge."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.coordinator import Coordinator
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.node import ClusterNode
+from repro.cluster.ring import TokenRing
+from repro.cluster.storage import StorageEngine
+from repro.cluster.workload_bridge import ClosedLoopGenerator
+from repro.simulator.engine import EventLoop
+from repro.simulator.network import ConstantLatency
+from repro.strategies import LeastOutstandingSelector
+from repro.workloads.ycsb import YCSBWorkload
+
+
+def build_stack(num_nodes=3):
+    loop = EventLoop()
+    metrics = ClusterMetrics()
+    ring = TokenRing(list(range(num_nodes)), replication_factor=min(3, num_nodes))
+    nodes = {}
+    coordinator_holder = {}
+
+    def route(request, feedback, service_time):
+        loop.schedule(0.05, coordinator_holder["c"].on_remote_response, request, feedback, service_time)
+
+    for node_id in range(num_nodes):
+        storage = StorageEngine(cache_hit_probability=0.0, rng=np.random.default_rng(node_id), deterministic=True)
+        nodes[node_id] = ClusterNode(loop, node_id, storage, concurrency=4, on_complete=route)
+    coordinator = Coordinator(
+        loop=loop,
+        node_id=0,
+        ring=ring,
+        selector=LeastOutstandingSelector(rng=np.random.default_rng(5)),
+        nodes=nodes,
+        network=ConstantLatency(0.05),
+        metrics=metrics,
+        read_repair_probability=0.0,
+        rng=np.random.default_rng(6),
+    )
+    coordinator_holder["c"] = coordinator
+    return loop, metrics, coordinator
+
+
+class TestClosedLoopGenerator:
+    def _generator(self, loop, coordinator, **kwargs):
+        workload = YCSBWorkload(mix="read_only", num_keys=100, rng=np.random.default_rng(1))
+        defaults = dict(generator_id=0, workload=workload, coordinator=coordinator)
+        defaults.update(kwargs)
+        return ClosedLoopGenerator(loop, **defaults)
+
+    def test_closed_loop_issues_one_op_at_a_time(self):
+        loop, metrics, coordinator = build_stack()
+        generator = self._generator(loop, coordinator, max_operations=10)
+        generator.start()
+        loop.run_until_idle()
+        assert generator.operations_issued == 10
+        assert generator.operations_completed == 10
+        assert metrics.operations_completed == 10
+
+    def test_stop_issuing_at_deadline(self):
+        loop, metrics, coordinator = build_stack()
+        generator = self._generator(loop, coordinator, stop_issuing_at_ms=50.0)
+        generator.start()
+        loop.run_until_idle()
+        assert generator.stopped
+        assert generator.operations_completed == generator.operations_issued > 0
+
+    def test_start_at_delays_first_operation(self):
+        loop, metrics, coordinator = build_stack()
+        generator = self._generator(loop, coordinator, start_at_ms=100.0, max_operations=3)
+        generator.start()
+        loop.run_until_idle()
+        assert all(sample.completed_at >= 100.0 for sample in metrics.samples)
+
+    def test_think_time_spaces_operations(self):
+        loop, metrics, coordinator = build_stack()
+        fast = self._generator(loop, coordinator, max_operations=5, think_time_ms=0.0)
+        fast.start()
+        loop.run_until_idle()
+        fast_end = loop.now
+
+        loop2, metrics2, coordinator2 = build_stack()
+        slow = ClosedLoopGenerator(
+            loop2,
+            generator_id=1,
+            workload=YCSBWorkload(mix="read_only", num_keys=100, rng=np.random.default_rng(1)),
+            coordinator=coordinator2,
+            max_operations=5,
+            think_time_ms=50.0,
+        )
+        slow.start()
+        loop2.run_until_idle()
+        assert loop2.now > fast_end
+
+    def test_mean_latency_and_stats(self):
+        loop, metrics, coordinator = build_stack()
+        generator = self._generator(loop, coordinator, max_operations=4, group_label="mygroup")
+        generator.start()
+        loop.run_until_idle()
+        assert generator.mean_latency_ms > 0
+        stats = generator.stats()
+        assert stats["group"] == "mygroup"
+        assert stats["completed"] == 4
+
+    def test_group_label_defaults_to_workload_name(self):
+        loop, metrics, coordinator = build_stack()
+        generator = self._generator(loop, coordinator, max_operations=1)
+        assert generator.group_label == "read_only"
+
+    def test_manual_stop(self):
+        loop, metrics, coordinator = build_stack()
+        generator = self._generator(loop, coordinator)
+        generator.start()
+        generator.stop()
+        loop.run_until_idle()
+        assert generator.operations_issued <= 1
+
+    def test_validation(self):
+        loop, metrics, coordinator = build_stack()
+        with pytest.raises(ValueError):
+            self._generator(loop, coordinator, start_at_ms=-1.0)
+        with pytest.raises(ValueError):
+            self._generator(loop, coordinator, think_time_ms=-1.0)
+
+    def test_mean_latency_zero_before_any_completion(self):
+        loop, metrics, coordinator = build_stack()
+        generator = self._generator(loop, coordinator)
+        assert generator.mean_latency_ms == 0.0

@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import C3Config
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def c3_config() -> C3Config:
+    """A small, fast C3 configuration used across unit tests."""
+    return C3Config(initial_rate=5.0, rate_delta_ms=10.0, concurrency_weight=4.0)

@@ -1,0 +1,124 @@
+"""Unit tests for the backpressure queues."""
+
+import pytest
+
+from repro.core.backpressure import BacklogEntry, BacklogQueue, BackpressureQueues
+
+
+class TestBacklogQueue:
+    def test_push_pop_fifo(self):
+        queue = BacklogQueue("g")
+        for i in range(3):
+            queue.push(BacklogEntry(request=i, replica_group=("a",), enqueued_at=float(i)))
+        assert [queue.pop(now=10.0).request for _ in range(3)] == [0, 1, 2]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            BacklogQueue("g").pop()
+
+    def test_wait_time_accounting(self):
+        queue = BacklogQueue("g")
+        queue.push(BacklogEntry(request="r", replica_group=("a",), enqueued_at=5.0))
+        queue.pop(now=15.0)
+        assert queue.mean_wait_ms == pytest.approx(10.0)
+
+    def test_mean_wait_zero_when_nothing_dequeued(self):
+        assert BacklogQueue("g").mean_wait_ms == 0.0
+
+    def test_max_depth_tracked(self):
+        queue = BacklogQueue("g")
+        for i in range(4):
+            queue.push(BacklogEntry(request=i, replica_group=("a",), enqueued_at=0.0))
+        queue.pop(0.0)
+        assert queue.max_depth == 4
+
+    def test_requeue_front_preserves_order_and_counts_attempts(self):
+        queue = BacklogQueue("g")
+        queue.push(BacklogEntry(request="first", replica_group=("a",), enqueued_at=0.0))
+        queue.push(BacklogEntry(request="second", replica_group=("a",), enqueued_at=0.0))
+        entry = queue.pop(0.0)
+        queue.requeue_front(entry)
+        assert queue.peek().request == "first"
+        assert queue.peek().attempts == 1
+
+    def test_drain_empties_queue(self):
+        queue = BacklogQueue("g")
+        for i in range(3):
+            queue.push(BacklogEntry(request=i, replica_group=("a",), enqueued_at=0.0))
+        drained = queue.drain()
+        assert len(drained) == 3
+        assert len(queue) == 0
+
+    def test_bool_and_len(self):
+        queue = BacklogQueue("g")
+        assert not queue
+        queue.push(BacklogEntry(request=1, replica_group=("a",), enqueued_at=0.0))
+        assert queue and len(queue) == 1
+
+
+class TestBackpressureQueues:
+    def test_group_key_is_order_insensitive(self):
+        assert BackpressureQueues.group_key(["a", "b"]) == BackpressureQueues.group_key(["b", "a"])
+
+    def test_group_key_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BackpressureQueues.group_key([])
+
+    def test_enqueue_creates_per_group_queues(self):
+        queues = BackpressureQueues()
+        queues.enqueue("r1", ("a", "b"), now=0.0)
+        queues.enqueue("r2", ("b", "c"), now=0.0)
+        queues.enqueue("r3", ("b", "a"), now=0.0)
+        assert queues.pending() == 3
+        assert len(queues.queues()) == 2
+        assert queues.backpressure_events == 3
+
+    def test_drain_ready_releases_placeable_entries(self):
+        queues = BackpressureQueues()
+        queues.enqueue("r1", ("a",), now=0.0)
+        queues.enqueue("r2", ("a",), now=0.0)
+        released = queues.drain_ready(now=1.0, can_place=lambda entry, now: "a")
+        assert [entry.request for entry, _ in released] == ["r1", "r2"]
+        assert queues.pending() == 0
+
+    def test_drain_ready_stops_at_blocked_head(self):
+        queues = BackpressureQueues()
+        queues.enqueue("r1", ("a",), now=0.0)
+        queues.enqueue("r2", ("a",), now=0.0)
+        released = queues.drain_ready(now=1.0, can_place=lambda entry, now: None)
+        assert released == []
+        assert queues.pending() == 2
+
+    def test_drain_ready_respects_max_requests(self):
+        queues = BackpressureQueues()
+        for i in range(5):
+            queues.enqueue(i, ("a",), now=0.0)
+        released = queues.drain_ready(now=1.0, can_place=lambda e, n: "a", max_requests=2)
+        assert len(released) == 2
+        assert queues.pending() == 3
+
+    def test_one_blocked_group_does_not_block_others(self):
+        """Per-replica-group isolation (§4)."""
+        queues = BackpressureQueues()
+        queues.enqueue("blocked", ("a", "b"), now=0.0)
+        queues.enqueue("free", ("c", "d"), now=0.0)
+
+        def can_place(entry, now):
+            return "c" if "c" in entry.replica_group else None
+
+        released = queues.drain_ready(now=1.0, can_place=can_place)
+        assert [entry.request for entry, _ in released] == ["free"]
+        assert queues.pending() == 1
+
+    def test_stats_aggregation(self):
+        queues = BackpressureQueues()
+        queues.enqueue("r1", ("a",), now=0.0)
+        queues.enqueue("r2", ("b",), now=0.0)
+        queues.drain_ready(now=4.0, can_place=lambda e, n: e.replica_group[0])
+        stats = queues.stats()
+        assert stats["groups"] == 2
+        assert stats["pending"] == 0
+        assert stats["total_enqueued"] == 2
+        assert stats["total_dequeued"] == 2
+        assert stats["backpressure_events"] == 2
+        assert stats["mean_wait_ms"] == pytest.approx(4.0)

@@ -1,0 +1,87 @@
+"""Unit tests for C3Config."""
+
+import pytest
+
+from repro.core.config import C3Config
+
+
+class TestC3ConfigDefaults:
+    def test_paper_defaults(self):
+        config = C3Config()
+        assert config.score_exponent == 3.0
+        assert config.beta == 0.2
+        assert config.rate_delta_ms == 20.0
+        assert config.smax == 10.0
+        assert config.saddle_duration_ms == 100.0
+
+    def test_default_hysteresis_is_twice_rate_window(self):
+        config = C3Config(rate_delta_ms=20.0)
+        assert config.effective_hysteresis_ms == 40.0
+
+    def test_explicit_hysteresis_wins(self):
+        config = C3Config(hysteresis_ms=7.0)
+        assert config.effective_hysteresis_ms == 7.0
+
+
+class TestC3ConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"score_exponent": 0.0},
+            {"concurrency_weight": -1.0},
+            {"ewma_alpha": 0.0},
+            {"ewma_alpha": 1.5},
+            {"rate_delta_ms": 0.0},
+            {"beta": 0.0},
+            {"beta": 1.0},
+            {"smax": 0.0},
+            {"initial_rate": 0.0},
+            {"min_rate": 0.0},
+            {"max_rate": 0.01, "min_rate": 0.5},
+            {"gamma": -1.0},
+            {"hysteresis_ms": -1.0},
+            {"rate_excess_tolerance": 0.5},
+            {"rate_min_utilisation": 1.5},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            C3Config(**kwargs)
+
+
+class TestC3ConfigHelpers:
+    def test_with_clients_sets_concurrency_weight(self):
+        config = C3Config().with_clients(120)
+        assert config.concurrency_weight == 120.0
+
+    def test_with_clients_returns_copy(self):
+        base = C3Config()
+        derived = base.with_clients(10)
+        assert base.concurrency_weight == 1.0
+        assert derived is not base
+
+    def test_with_clients_rejects_negative(self):
+        with pytest.raises(ValueError):
+            C3Config().with_clients(-1)
+
+    def test_copy_applies_overrides(self):
+        config = C3Config().copy(beta=0.5, smax=3.0)
+        assert config.beta == 0.5
+        assert config.smax == 3.0
+
+    def test_effective_gamma_uses_explicit_value(self):
+        config = C3Config(gamma=0.123)
+        assert config.effective_gamma(100.0) == 0.123
+
+    def test_effective_gamma_scales_with_saturation_rate(self):
+        config = C3Config(saddle_duration_ms=100.0)
+        low = config.effective_gamma(10.0)
+        high = config.effective_gamma(100.0)
+        assert high > low > 0
+
+    def test_derived_gamma_puts_inflection_at_half_saddle(self):
+        config = C3Config(saddle_duration_ms=100.0, beta=0.2)
+        rate = 50.0
+        gamma = config.effective_gamma(rate)
+        inflection = (config.beta * rate / gamma) ** (1.0 / 3.0)
+        assert inflection == pytest.approx(50.0, rel=1e-6)

@@ -1,0 +1,38 @@
+"""Unit tests for the server feedback record."""
+
+import pytest
+
+from repro.core.feedback import ServerFeedback
+
+
+class TestServerFeedback:
+    def test_valid_feedback(self):
+        fb = ServerFeedback(queue_size=3, service_time=4.0, server_id="s1")
+        assert fb.queue_size == 3
+        assert fb.service_time == 4.0
+        assert fb.server_id == "s1"
+
+    def test_service_rate_is_inverse_of_service_time(self):
+        fb = ServerFeedback(queue_size=0, service_time=4.0)
+        assert fb.service_rate == pytest.approx(0.25)
+
+    def test_zero_queue_allowed(self):
+        assert ServerFeedback(queue_size=0, service_time=1.0).queue_size == 0
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(ValueError):
+            ServerFeedback(queue_size=-1, service_time=1.0)
+
+    def test_nonpositive_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            ServerFeedback(queue_size=0, service_time=0.0)
+        with pytest.raises(ValueError):
+            ServerFeedback(queue_size=0, service_time=-2.0)
+
+    def test_frozen(self):
+        fb = ServerFeedback(queue_size=1, service_time=1.0)
+        with pytest.raises(AttributeError):
+            fb.queue_size = 5
+
+    def test_default_server_id_is_none(self):
+        assert ServerFeedback(queue_size=1, service_time=1.0).server_id is None

@@ -1,0 +1,109 @@
+"""Tests for the experiment registry and the analytic (fast) experiments."""
+
+import pytest
+
+from repro.experiments import ExperimentResult, list_experiments, registry, run_experiment
+from repro.experiments.fig01_motivating import ideal_allocation_max_latency, split_allocation_max_latency
+from repro.experiments.fig04_scoring import equal_score_queue
+from repro.experiments.fig05_cubic_curve import region_boundaries
+from repro.experiments.table1_survey import SURVEY
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        ids = list_experiments()
+        expected = {
+            "fig01", "fig02", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+            "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "table1", "skewed_records", "speculative",
+            "ablation_exponent", "ablation_concurrency", "ablation_rate_control",
+        }
+        assert expected <= set(ids)
+
+    def test_describe_returns_text(self):
+        assert "Figure 1" in registry.describe("fig01")
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            registry.get("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            registry.register("fig01")(lambda: None)
+
+    def test_result_rendering(self):
+        result = ExperimentResult(
+            experiment_id="x", title="t", headers=["a", "b"], rows=[[1, 2.5]], notes=["n"]
+        )
+        text = result.to_text()
+        assert "== x: t ==" in text and "note: n" in text
+        assert result.row_dicts() == [{"a": 1, "b": 2.5}]
+
+
+class TestFig01:
+    def test_lor_allocation_matches_paper(self):
+        assert split_allocation_max_latency((4.0, 10.0), (6, 6)) == 60.0
+
+    def test_ideal_allocation_beats_lor(self):
+        ideal, alloc = ideal_allocation_max_latency((4.0, 10.0), 12)
+        assert ideal < 60.0
+        assert sum(alloc) == 12
+
+    def test_experiment_result(self):
+        result = run_experiment("fig01")
+        assert result.data["lor_latency"] == 60.0
+        assert result.data["ideal_latency"] < result.data["lor_latency"]
+        # Analytic and simulated latencies must agree.
+        for row in result.rows:
+            assert row[2] == pytest.approx(row[3])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_allocation_max_latency((4.0,), (1, 2))
+        with pytest.raises(ValueError):
+            ideal_allocation_max_latency((), 3)
+
+
+class TestTable1:
+    def test_only_cassandra_is_adaptive(self):
+        adaptive = [entry.system for entry in SURVEY if entry.adaptive]
+        assert adaptive == ["Cassandra"]
+
+    def test_experiment_rows_match_survey(self):
+        result = run_experiment("table1")
+        assert len(result.rows) == len(SURVEY)
+
+
+class TestFig04:
+    def test_linear_requires_5x_queue(self):
+        assert equal_score_queue(4.0, 20.0, 20.0, exponent=1.0) == pytest.approx(100.0)
+
+    def test_cubic_requires_cube_root_ratio(self):
+        assert equal_score_queue(4.0, 20.0, 20.0, exponent=3.0) == pytest.approx(20 * 5 ** (1 / 3))
+
+    def test_experiment_shape(self):
+        result = run_experiment("fig04")
+        rows = result.row_dicts()
+        linear = next(r for r in rows if "linear" in r["scoring function"])
+        cubic = next(r for r in rows if "cubic" in r["scoring function"])
+        assert linear["imbalance ratio"] > cubic["imbalance ratio"]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            equal_score_queue(0.0, 1.0, 1.0, 3.0)
+
+
+class TestFig05:
+    def test_region_boundaries_ordered(self):
+        bounds = region_boundaries(50.0, 0.2, 8e-5)
+        assert 0 <= bounds["saddle_start_ms"] < bounds["inflection_ms"] < bounds["saddle_end_ms"]
+
+    def test_experiment_regions_present(self):
+        result = run_experiment("fig05")
+        regions = {row[2] for row in result.rows}
+        assert {"low-rate (steep growth)", "saddle (stable)", "optimistic probing"} <= regions
+
+    def test_curve_rates_monotone(self):
+        result = run_experiment("fig05")
+        rates = result.data["rates"]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))

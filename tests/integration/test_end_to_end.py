@@ -1,0 +1,88 @@
+"""End-to-end integration tests asserting the paper's qualitative claims.
+
+These are the "shape" checks of the reproduction: who wins, in which
+direction, under scaled-down versions of the paper's scenarios.  Absolute
+numbers are not compared (our substrate is a simulator, not EC2).
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, run_cluster
+from repro.simulator import SimulationConfig, run_simulation
+
+
+CLUSTER_KW = dict(
+    num_nodes=10,
+    num_generators=30,
+    duration_ms=1_200.0,
+    num_keys=2_000,
+    seed=11,
+)
+
+SIM_KW = dict(num_servers=20, num_clients=60, num_requests=4_000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def cluster_results():
+    return {
+        strategy: run_cluster(ClusterConfig(strategy=strategy, **CLUSTER_KW))
+        for strategy in ("C3", "DS")
+    }
+
+
+@pytest.fixture(scope="module")
+def simulator_results():
+    return {
+        strategy: run_simulation(
+            SimulationConfig(strategy=strategy, fluctuation_interval_ms=500.0, **SIM_KW)
+        )
+        for strategy in ("C3", "LOR", "RR", "ORA")
+    }
+
+
+class TestClusterShape:
+    """Figures 6–9: C3 vs Dynamic Snitching on the cluster substrate."""
+
+    def test_c3_improves_median(self, cluster_results):
+        assert cluster_results["C3"].read_summary.median <= cluster_results["DS"].read_summary.median * 1.05
+
+    def test_c3_improves_p99(self, cluster_results):
+        assert cluster_results["C3"].read_summary.p99 < cluster_results["DS"].read_summary.p99
+
+    def test_c3_improves_tail_span(self, cluster_results):
+        c3 = cluster_results["C3"].read_summary
+        ds = cluster_results["DS"].read_summary
+        assert c3.tail_span < ds.tail_span
+
+    def test_c3_improves_throughput(self, cluster_results):
+        assert cluster_results["C3"].throughput_rps > cluster_results["DS"].throughput_rps
+
+    def test_all_operations_complete(self, cluster_results):
+        for result in cluster_results.values():
+            assert result.completed_requests > 0
+            assert result.completed_requests >= 0.99 * result.issued_requests
+
+
+class TestSimulatorShape:
+    """Figure 14: strategy ordering under slow service-time fluctuations."""
+
+    def test_c3_beats_lor_at_long_fluctuation_intervals(self, simulator_results):
+        assert simulator_results["C3"].summary.p99 < simulator_results["LOR"].summary.p99
+
+    def test_c3_beats_rate_limited_round_robin(self, simulator_results):
+        assert simulator_results["C3"].summary.p99 < simulator_results["RR"].summary.p99
+
+    def test_oracle_is_the_lower_bound(self, simulator_results):
+        oracle_p99 = simulator_results["ORA"].summary.p99
+        for strategy in ("C3", "LOR", "RR"):
+            assert simulator_results[strategy].summary.p99 >= oracle_p99 * 0.9
+
+    def test_c3_tracks_oracle_more_closely_than_lor(self, simulator_results):
+        oracle_p99 = simulator_results["ORA"].summary.p99
+        c3_gap = simulator_results["C3"].summary.p99 - oracle_p99
+        lor_gap = simulator_results["LOR"].summary.p99 - oracle_p99
+        assert c3_gap < lor_gap
+
+    def test_every_strategy_completed_all_requests(self, simulator_results):
+        for result in simulator_results.values():
+            assert result.completed_requests == SIM_KW["num_requests"]

@@ -1,0 +1,55 @@
+"""Property-based tests over whole simulation runs (invariants, not values)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.simulator import SimulationConfig, run_simulation
+
+
+class TestSimulationInvariants:
+    @given(
+        strategy=st.sampled_from(["C3", "LOR", "RR", "ORA", "RAND"]),
+        seed=st.integers(min_value=0, max_value=1_000),
+        interval=st.sampled_from([20.0, 100.0, 400.0]),
+    )
+    @settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_every_request_completes_with_sane_latency(self, strategy, seed, interval):
+        config = SimulationConfig(
+            num_servers=9,
+            num_clients=12,
+            num_requests=400,
+            strategy=strategy,
+            seed=seed,
+            fluctuation_interval_ms=interval,
+        )
+        result = run_simulation(config)
+        # Conservation: everything issued eventually completed.
+        assert result.completed_requests == config.num_requests
+        # Latencies are physical: bounded below by the network round trip.
+        assert result.latencies_ms.min() >= 2 * config.network_delay_ms - 1e-9
+        # Percentiles are ordered.
+        summary = result.summary
+        assert summary.median <= summary.p95 <= summary.p99 <= summary.p999 <= summary.maximum
+        # Per-server completions account for at least every data request
+        # (duplicates can only add to the count).
+        assert sum(result.per_server_completed.values()) >= result.completed_requests
+
+    @given(utilization=st.sampled_from([0.3, 0.5, 0.7]))
+    @settings(max_examples=3, deadline=None)
+    def test_higher_utilization_never_reduces_mean_latency(self, utilization):
+        """Mean latency grows (weakly) with utilisation for the same seed."""
+        low = run_simulation(
+            SimulationConfig(
+                num_servers=9, num_clients=12, num_requests=600, strategy="LOR",
+                utilization=utilization, seed=3,
+            )
+        )
+        high = run_simulation(
+            SimulationConfig(
+                num_servers=9, num_clients=12, num_requests=600, strategy="LOR",
+                utilization=min(utilization + 0.3, 1.0), seed=3,
+            )
+        )
+        assert high.summary.mean >= low.summary.mean * 0.8

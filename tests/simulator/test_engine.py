@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulator.engine import EventLoop, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(5.0, order.append, "b")
+        loop.schedule(1.0, order.append, "a")
+        loop.schedule(9.0, order.append, "c")
+        loop.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        loop = EventLoop()
+        order = []
+        for name in "abcd":
+            loop.schedule(1.0, order.append, name)
+        loop.run_until_idle()
+        assert order == list("abcd")
+
+    def test_clock_advances_to_event_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(3.5, lambda: seen.append(loop.now))
+        loop.run_until_idle()
+        assert seen == [3.5]
+        assert loop.now == 3.5
+
+    def test_schedule_at_absolute_time(self):
+        loop = EventLoop(start_time=10.0)
+        fired = []
+        loop.schedule_at(12.0, fired.append, True)
+        loop.run_until_idle()
+        assert fired == [True]
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule(-1.0, lambda: None)
+
+    def test_scheduling_into_the_past_rejected(self):
+        loop = EventLoop(start_time=5.0)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(1.0, lambda: None)
+
+    def test_kwargs_passed_to_callback(self):
+        loop = EventLoop()
+        seen = {}
+        loop.schedule(1.0, seen.update, value=42)
+        loop.run_until_idle()
+        assert seen == {"value": 42}
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, fired.append, "x")
+        event.cancel()
+        loop.run_until_idle()
+        assert fired == []
+
+    def test_cancellation_does_not_affect_other_events(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule(1.0, fired.append, "cancelled")
+        loop.schedule(2.0, fired.append, "kept")
+        event.cancel()
+        loop.run_until_idle()
+        assert fired == ["kept"]
+
+
+class TestRun:
+    def test_run_until_horizon_stops_before_later_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, fired.append, "early")
+        loop.schedule(100.0, fired.append, "late")
+        loop.run(until=50.0)
+        assert fired == ["early"]
+        assert loop.now == 50.0
+        loop.run_until_idle()
+        assert fired == ["early", "late"]
+
+    def test_run_advances_clock_to_horizon_with_no_events(self):
+        loop = EventLoop()
+        loop.run(until=25.0)
+        assert loop.now == 25.0
+
+    def test_max_events_limit(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(10):
+            loop.schedule(float(i + 1), fired.append, i)
+        processed = loop.run(max_events=4)
+        assert processed == 4
+        assert len(fired) == 4
+
+    def test_events_scheduled_during_run_are_processed(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 5:
+                loop.schedule(1.0, chain, n + 1)
+
+        loop.schedule(1.0, chain, 0)
+        loop.run_until_idle()
+        assert fired == list(range(6))
+
+    def test_step_returns_false_on_empty_queue(self):
+        assert EventLoop().step() is False
+
+    def test_processed_and_pending_counters(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending_events == 2
+        loop.run_until_idle()
+        assert loop.processed_events == 2
+        assert loop.pending_events == 0
+
+    def test_reentrant_run_rejected(self):
+        loop = EventLoop()
+
+        def nested():
+            with pytest.raises(SimulationError):
+                loop.run()
+
+        loop.schedule(1.0, nested)
+        loop.run_until_idle()
+
+    def test_clear_drops_pending_events(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(1.0, fired.append, "x")
+        loop.clear()
+        loop.run_until_idle()
+        assert fired == []

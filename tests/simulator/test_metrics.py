@@ -1,0 +1,136 @@
+"""Unit tests for metric collection and simulation results."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.metrics import MetricsCollector, SimulationResult, WindowedCounter
+from repro.simulator.request import Request, RequestKind
+
+
+def completed_request(server_id=0, created=0.0, completed=5.0, kind=RequestKind.READ, parent=None):
+    request = Request.create(
+        client_id=0, replica_group=(server_id,), created_at=created, kind=kind, parent_id=parent
+    )
+    request.mark_dispatched(created, server_id)
+    request.mark_completed(completed)
+    return request
+
+
+class TestWindowedCounter:
+    def test_counts_fall_into_correct_windows(self):
+        counter = WindowedCounter(window_ms=100.0)
+        for t in (10.0, 20.0, 150.0, 299.0):
+            counter.record(t)
+        assert list(counter.counts()) == [2, 1, 1]
+
+    def test_horizon_pads_with_zero_windows(self):
+        counter = WindowedCounter(window_ms=100.0)
+        counter.record(50.0)
+        assert len(counter.counts(horizon_ms=500.0)) == 5
+
+    def test_series_returns_window_start_times(self):
+        counter = WindowedCounter(window_ms=100.0)
+        counter.record(250.0)
+        times, counts = counter.series()
+        assert list(times) == [0.0, 100.0, 200.0]
+        assert list(counts) == [0, 0, 1]
+
+    def test_total(self):
+        counter = WindowedCounter()
+        for t in range(5):
+            counter.record(float(t))
+        assert counter.total() == 5
+
+    def test_empty_counts(self):
+        assert WindowedCounter().counts().size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedCounter(window_ms=0.0)
+        with pytest.raises(ValueError):
+            WindowedCounter().record(-1.0)
+
+
+class TestMetricsCollector:
+    def test_latency_recorded_for_primary_requests_only(self):
+        collector = MetricsCollector()
+        primary = completed_request()
+        dup = completed_request(parent=primary.request_id)
+        collector.on_issue(primary)
+        collector.on_issue(dup)
+        collector.on_complete(primary, 5.0)
+        collector.on_complete(dup, 6.0)
+        result = collector.result(duration_ms=10.0)
+        assert result.completed_requests == 1
+        assert result.issued_requests == 1
+        assert result.duplicate_requests == 1
+        assert list(result.latencies_ms) == [5.0]
+
+    def test_server_load_counts_every_completion(self):
+        collector = MetricsCollector(window_ms=100.0)
+        primary = completed_request(server_id=1)
+        dup = completed_request(server_id=2, parent=primary.request_id)
+        collector.on_complete(primary, 50.0)
+        collector.on_complete(dup, 60.0)
+        result = collector.result(duration_ms=100.0)
+        assert result.per_server_completed == {1: 1, 2: 1}
+
+    def test_read_and_write_latencies_split(self):
+        collector = MetricsCollector()
+        read = completed_request(kind=RequestKind.READ)
+        write = completed_request(kind=RequestKind.WRITE, completed=9.0)
+        for request in (read, write):
+            collector.on_issue(request)
+            collector.on_complete(request, request.completed_at)
+        result = collector.result(10.0)
+        assert list(result.read_latencies_ms) == [5.0]
+        assert list(result.write_latencies_ms) == [9.0]
+
+    def test_backpressure_counter(self):
+        collector = MetricsCollector()
+        collector.on_backpressure()
+        collector.on_backpressure()
+        assert collector.result(1.0).backpressure_events == 2
+
+
+class TestSimulationResult:
+    def _result(self):
+        collector = MetricsCollector(window_ms=100.0)
+        for i in range(10):
+            request = completed_request(server_id=i % 2, created=i * 10.0, completed=i * 10.0 + 4.0)
+            collector.on_issue(request)
+            collector.on_complete(request, request.completed_at)
+        return collector.result(duration_ms=1000.0, strategy="TEST")
+
+    def test_throughput(self):
+        result = self._result()
+        assert result.throughput_rps == pytest.approx(10 / 1.0)
+
+    def test_summary_percentiles(self):
+        result = self._result()
+        assert result.summary.median == pytest.approx(4.0)
+        assert result.summary.count == 10
+
+    def test_hottest_server(self):
+        result = self._result()
+        assert result.hottest_server() in (0, 1)
+        series = result.hottest_server_series()
+        assert series.sum() == result.per_server_completed[result.hottest_server()]
+
+    def test_zero_duration_throughput(self):
+        result = SimulationResult(
+            latencies_ms=np.zeros(0),
+            read_latencies_ms=np.zeros(0),
+            write_latencies_ms=np.zeros(0),
+            duration_ms=0.0,
+            completed_requests=0,
+            issued_requests=0,
+            duplicate_requests=0,
+            backpressure_events=0,
+            server_load_series={},
+            window_ms=100.0,
+            per_server_completed={},
+        )
+        assert result.throughput_rps == 0.0
+        assert result.hottest_server() is None
+        assert result.hottest_server_series().size == 0

@@ -1,0 +1,56 @@
+"""Unit tests for the network latency models."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.network import ConstantLatency, JitteredLatency, LognormalLatency
+
+
+class TestConstantLatency:
+    def test_one_way_delay_is_constant(self):
+        model = ConstantLatency(0.25)
+        assert all(model.one_way_delay() == 0.25 for _ in range(5))
+
+    def test_round_trip_is_twice_one_way(self):
+        assert ConstantLatency(0.3).round_trip_delay() == pytest.approx(0.6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.1)
+
+
+class TestJitteredLatency:
+    def test_samples_within_bounds(self):
+        model = JitteredLatency(base_ms=1.0, jitter_ms=0.2, rng=np.random.default_rng(0))
+        samples = [model.one_way_delay() for _ in range(200)]
+        assert all(0.8 <= s <= 1.2 for s in samples)
+        assert len(set(samples)) > 1
+
+    def test_zero_jitter_is_constant(self):
+        model = JitteredLatency(base_ms=1.0, jitter_ms=0.0)
+        assert model.one_way_delay() == 1.0
+
+    def test_jitter_larger_than_base_rejected(self):
+        with pytest.raises(ValueError):
+            JitteredLatency(base_ms=0.1, jitter_ms=0.5)
+
+
+class TestLognormalLatency:
+    def test_samples_positive(self):
+        model = LognormalLatency(median_ms=0.5, sigma=0.5, rng=np.random.default_rng(1))
+        samples = [model.one_way_delay() for _ in range(200)]
+        assert all(s > 0 for s in samples)
+
+    def test_median_roughly_matches(self):
+        model = LognormalLatency(median_ms=2.0, sigma=0.4, rng=np.random.default_rng(2))
+        samples = np.array([model.one_way_delay() for _ in range(4000)])
+        assert np.median(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_zero_sigma_is_constant(self):
+        assert LognormalLatency(median_ms=1.5, sigma=0.0).one_way_delay() == 1.5
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(median_ms=0.0)
+        with pytest.raises(ValueError):
+            LognormalLatency(median_ms=1.0, sigma=-1.0)

@@ -1,0 +1,49 @@
+"""Unit tests for request records."""
+
+from repro.simulator.request import Request, RequestKind
+
+
+class TestRequest:
+    def test_create_assigns_unique_ids(self):
+        a = Request.create(client_id=0, replica_group=(1, 2), created_at=0.0)
+        b = Request.create(client_id=0, replica_group=(1, 2), created_at=0.0)
+        assert a.request_id != b.request_id
+
+    def test_latency_none_until_completed(self):
+        request = Request.create(client_id=0, replica_group=(1,), created_at=5.0)
+        assert request.latency is None
+        request.mark_completed(12.5)
+        assert request.latency == 7.5
+
+    def test_mark_dispatched_records_server_and_attempts(self):
+        request = Request.create(client_id=0, replica_group=(1, 2), created_at=0.0)
+        request.mark_dispatched(1.0, server_id=2)
+        assert request.server_id == 2
+        assert request.dispatched_at == 1.0
+        assert request.attempts == 1
+
+    def test_queueing_delay(self):
+        request = Request.create(client_id=0, replica_group=(1,), created_at=0.0)
+        assert request.queueing_delay is None
+        request.mark_dispatched(1.0, 1)
+        request.started_service_at = 4.0
+        assert request.queueing_delay == 3.0
+
+    def test_duplicate_detection(self):
+        parent = Request.create(client_id=0, replica_group=(1,), created_at=0.0)
+        dup = Request.create(
+            client_id=0, replica_group=(1,), created_at=0.0, parent_id=parent.request_id
+        )
+        assert not parent.is_duplicate
+        assert dup.is_duplicate
+
+    def test_replica_group_stored_as_tuple(self):
+        request = Request.create(client_id=0, replica_group=[3, 4, 5], created_at=0.0)
+        assert request.replica_group == (3, 4, 5)
+
+    def test_default_kind_is_read(self):
+        request = Request.create(client_id=0, replica_group=(1,), created_at=0.0)
+        assert request.kind == RequestKind.READ
+
+    def test_request_kinds_enumerated(self):
+        assert set(RequestKind.ALL) == {"read", "write", "read_repair", "speculative"}

@@ -1,0 +1,159 @@
+"""Unit tests for the simulated replica server."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.engine import EventLoop
+from repro.simulator.request import Request
+from repro.simulator.server import SimServer
+
+
+def make_server(loop, **kwargs):
+    defaults = dict(
+        server_id="s",
+        base_service_time_ms=4.0,
+        concurrency=2,
+        deterministic=True,
+        rng=np.random.default_rng(0),
+    )
+    defaults.update(kwargs)
+    return SimServer(loop, **defaults)
+
+
+def make_request(server_id="s"):
+    return Request.create(client_id=0, replica_group=(server_id,), created_at=0.0)
+
+
+class TestServiceFlow:
+    def test_single_request_completes_after_service_time(self):
+        loop = EventLoop()
+        completions = []
+        server = make_server(loop, on_complete=lambda r, f, st: completions.append((loop.now, st)))
+        server.enqueue(make_request())
+        loop.run_until_idle()
+        assert completions == [(4.0, 4.0)]
+        assert server.requests_completed == 1
+
+    def test_concurrency_limits_parallel_service(self):
+        loop = EventLoop()
+        completions = []
+        server = make_server(loop, concurrency=2, on_complete=lambda r, f, st: completions.append(loop.now))
+        for _ in range(4):
+            server.enqueue(make_request())
+        # Two requests run in parallel, two queue behind them.
+        assert server.in_service == 2
+        assert server.queue_length == 2
+        loop.run_until_idle()
+        assert completions == [4.0, 4.0, 8.0, 8.0]
+
+    def test_fifo_ordering(self):
+        loop = EventLoop()
+        order = []
+        server = make_server(loop, concurrency=1, on_complete=lambda r, f, st: order.append(r.request_id))
+        requests = [make_request() for _ in range(3)]
+        for request in requests:
+            server.enqueue(request)
+        loop.run_until_idle()
+        assert order == [r.request_id for r in requests]
+
+    def test_pending_includes_in_service(self):
+        loop = EventLoop()
+        server = make_server(loop, concurrency=1)
+        server.enqueue(make_request())
+        server.enqueue(make_request())
+        assert server.pending_requests == 2
+        assert server.queue_length == 1
+
+
+class TestFeedback:
+    def test_feedback_reports_pending_after_completion(self):
+        loop = EventLoop()
+        feedbacks = []
+        server = make_server(loop, concurrency=1, on_complete=lambda r, f, st: feedbacks.append(f))
+        for _ in range(3):
+            server.enqueue(make_request())
+        loop.run_until_idle()
+        # After each completion, the remaining pending count shrinks.
+        assert [fb.queue_size for fb in feedbacks] == [2, 1, 0]
+        assert all(fb.server_id == "s" for fb in feedbacks)
+
+    def test_feedback_service_time_tracks_ewma(self):
+        loop = EventLoop()
+        feedbacks = []
+        server = make_server(loop, on_complete=lambda r, f, st: feedbacks.append(f))
+        server.enqueue(make_request())
+        loop.run_until_idle()
+        assert feedbacks[0].service_time == pytest.approx(4.0)
+
+
+class TestSpeedControls:
+    def test_service_time_multiplier_slows_server(self):
+        loop = EventLoop()
+        completions = []
+        server = make_server(loop, on_complete=lambda r, f, st: completions.append(loop.now))
+        server.set_service_time_multiplier(3.0)
+        server.enqueue(make_request())
+        loop.run_until_idle()
+        assert completions == [12.0]
+
+    def test_service_rate_multiplier_speeds_server(self):
+        loop = EventLoop()
+        completions = []
+        server = make_server(loop, on_complete=lambda r, f, st: completions.append(loop.now))
+        server.set_service_rate_multiplier(4.0)
+        server.enqueue(make_request())
+        loop.run_until_idle()
+        assert completions == [1.0]
+
+    def test_invalid_multiplier_rejected(self):
+        loop = EventLoop()
+        server = make_server(loop)
+        with pytest.raises(ValueError):
+            server.set_service_time_multiplier(0.0)
+        with pytest.raises(ValueError):
+            server.set_service_rate_multiplier(-1.0)
+
+    def test_record_size_scales_service_time(self):
+        loop = EventLoop()
+        completions = []
+        server = make_server(loop, on_complete=lambda r, f, st: completions.append(st))
+        big = Request.create(client_id=0, replica_group=("s",), created_at=0.0, record_size=2048)
+        server.enqueue(big)
+        loop.run_until_idle()
+        assert completions == [8.0]
+
+
+class TestStatsAndValidation:
+    def test_utilization(self):
+        loop = EventLoop()
+        server = make_server(loop, concurrency=1)
+        server.enqueue(make_request())
+        loop.run_until_idle()
+        assert server.utilization(8.0) == pytest.approx(0.5)
+
+    def test_stats_shape(self):
+        loop = EventLoop()
+        server = make_server(loop)
+        server.enqueue(make_request())
+        loop.run_until_idle()
+        stats = server.stats()
+        assert stats["received"] == 1 and stats["completed"] == 1
+        assert stats["server_id"] == "s"
+
+    def test_random_service_times_have_correct_mean(self):
+        loop = EventLoop()
+        durations = []
+        server = make_server(
+            loop, deterministic=False, concurrency=1000, on_complete=lambda r, f, st: durations.append(st)
+        )
+        for _ in range(3000):
+            server.enqueue(make_request())
+        loop.run_until_idle()
+        assert np.mean(durations) == pytest.approx(4.0, rel=0.1)
+
+    def test_constructor_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            SimServer(loop, "s", base_service_time_ms=0.0)
+        with pytest.raises(ValueError):
+            SimServer(loop, "s", concurrency=0)

@@ -1,0 +1,169 @@
+"""Unit tests for the flat-simulator workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.engine import EventLoop
+from repro.simulator.workload import (
+    DemandSkew,
+    PoissonArrivalProcess,
+    WorkloadGenerator,
+    replica_groups,
+)
+
+
+class _FakeClient:
+    def __init__(self, client_id):
+        self.client_id = client_id
+        self.requests = []
+
+    def on_request(self, request):
+        self.requests.append(request)
+
+
+class TestReplicaGroups:
+    def test_group_count_equals_server_count(self):
+        groups = replica_groups(10, 3)
+        assert len(groups) == 10
+
+    def test_groups_are_consecutive_and_wrap(self):
+        groups = replica_groups(5, 3)
+        assert groups[0] == (0, 1, 2)
+        assert groups[4] == (4, 0, 1)
+
+    def test_every_server_appears_rf_times(self):
+        groups = replica_groups(8, 3)
+        counts = {}
+        for group in groups:
+            for server in group:
+                counts[server] = counts.get(server, 0) + 1
+        assert all(count == 3 for count in counts.values())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replica_groups(2, 3)
+        with pytest.raises(ValueError):
+            replica_groups(3, 0)
+
+
+class TestDemandSkew:
+    def test_probabilities_sum_to_one(self):
+        skew = DemandSkew(client_fraction=0.2, demand_fraction=0.8)
+        probs = skew.client_probabilities(10)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_heavy_clients_receive_the_configured_share(self):
+        skew = DemandSkew(client_fraction=0.2, demand_fraction=0.8)
+        probs = skew.client_probabilities(10)
+        assert probs[:2].sum() == pytest.approx(0.8)
+        assert probs[2:].sum() == pytest.approx(0.2)
+
+    def test_heavy_clients_have_higher_individual_probability(self):
+        probs = DemandSkew(0.5, 0.8).client_probabilities(10)
+        assert probs[0] > probs[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DemandSkew(0.0)
+        with pytest.raises(ValueError):
+            DemandSkew(0.5, 1.0)
+        with pytest.raises(ValueError):
+            DemandSkew(0.5).client_probabilities(1)
+
+
+class TestPoissonArrivalProcess:
+    def test_generates_exact_count(self):
+        loop = EventLoop()
+        arrivals = []
+        process = PoissonArrivalProcess(
+            loop, rate_per_ms=1.0, total_arrivals=50, on_arrival=lambda: arrivals.append(loop.now),
+            rng=np.random.default_rng(0),
+        )
+        process.start()
+        loop.run_until_idle()
+        assert len(arrivals) == 50
+        assert process.generated == 50
+
+    def test_mean_interarrival_matches_rate(self):
+        loop = EventLoop()
+        arrivals = []
+        process = PoissonArrivalProcess(
+            loop, rate_per_ms=2.0, total_arrivals=4000, on_arrival=lambda: arrivals.append(loop.now),
+            rng=np.random.default_rng(1),
+        )
+        process.start()
+        loop.run_until_idle()
+        gaps = np.diff(np.array(arrivals))
+        assert gaps.mean() == pytest.approx(0.5, rel=0.1)
+
+    def test_zero_arrivals_is_a_noop(self):
+        loop = EventLoop()
+        process = PoissonArrivalProcess(loop, 1.0, 0, on_arrival=lambda: None)
+        process.start()
+        loop.run_until_idle()
+        assert process.generated == 0
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            PoissonArrivalProcess(loop, 0.0, 1, lambda: None)
+
+
+class TestWorkloadGenerator:
+    def _build(self, loop, clients, skew=None, read_fraction=1.0, seed=0):
+        groups = replica_groups(6, 3)
+        return WorkloadGenerator(
+            loop=loop,
+            clients=clients,
+            groups=groups,
+            rate_per_ms=5.0,
+            total_requests=300,
+            demand_skew=skew,
+            read_fraction=read_fraction,
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_all_requests_delivered_to_clients(self):
+        loop = EventLoop()
+        clients = [_FakeClient(i) for i in range(4)]
+        generator = self._build(loop, clients)
+        generator.start()
+        loop.run_until_idle()
+        assert sum(len(c.requests) for c in clients) == 300
+
+    def test_requests_carry_valid_replica_groups(self):
+        loop = EventLoop()
+        clients = [_FakeClient(0)]
+        generator = self._build(loop, clients)
+        generator.start()
+        loop.run_until_idle()
+        for request in clients[0].requests:
+            assert len(request.replica_group) == 3
+            assert all(0 <= s < 6 for s in request.replica_group)
+
+    def test_demand_skew_shifts_load_to_heavy_clients(self):
+        loop = EventLoop()
+        clients = [_FakeClient(i) for i in range(10)]
+        generator = self._build(loop, clients, skew=DemandSkew(0.2, 0.8), seed=3)
+        generator.start()
+        loop.run_until_idle()
+        heavy = sum(len(c.requests) for c in clients[:2])
+        assert heavy > 0.6 * 300
+
+    def test_read_fraction_produces_writes(self):
+        loop = EventLoop()
+        clients = [_FakeClient(0)]
+        generator = self._build(loop, clients, read_fraction=0.5, seed=4)
+        generator.start()
+        loop.run_until_idle()
+        kinds = {r.kind for r in clients[0].requests}
+        assert kinds == {"read", "write"}
+
+    def test_validation(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError):
+            WorkloadGenerator(loop, [], [(0, 1, 2)], 1.0, 10)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(loop, [_FakeClient(0)], [], 1.0, 10)
+        with pytest.raises(ValueError):
+            WorkloadGenerator(loop, [_FakeClient(0)], [(0,)], 1.0, 10, read_fraction=2.0)

@@ -1,0 +1,70 @@
+"""Tests for the selector base classes and default behaviours."""
+
+import pytest
+
+from repro.strategies.base import ReplicaSelector, SelectorDecision, StatefulSelector
+
+
+class MinimalSelector(StatefulSelector):
+    """The smallest possible strategy: always pick the first replica."""
+
+    name = "FIRST"
+
+    def choose(self, replica_group, now):
+        return replica_group[0]
+
+
+class BrokenSelector(StatefulSelector):
+    """A strategy that violates the contract by returning a non-member."""
+
+    def choose(self, replica_group, now):
+        return "not-in-group"
+
+
+class TestSelectorDecision:
+    def test_sent_property(self):
+        assert SelectorDecision(server_id="a").sent
+        assert not SelectorDecision(server_id=None, backpressured=True).sent
+
+    def test_defaults(self):
+        decision = SelectorDecision(server_id="a")
+        assert decision.retry_after_ms == 0.0
+        assert decision.backpressured is False
+
+
+class TestStatefulSelectorDefaults:
+    def test_submit_uses_choose(self):
+        selector = MinimalSelector()
+        decision = selector.submit("r", ("x", "y"), 0.0)
+        assert decision.server_id == "x"
+        assert selector.requests_submitted == 1
+
+    def test_choose_must_return_group_member(self):
+        with pytest.raises(ValueError):
+            BrokenSelector().submit("r", ("a", "b"), 0.0)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            MinimalSelector().submit("r", (), 0.0)
+
+    def test_on_response_returns_empty_list_and_counts(self):
+        selector = MinimalSelector()
+        selector.submit("r", ("x",), 0.0)
+        assert selector.on_response("x", None, 1.0, 1.0) == []
+        assert selector.responses_received == 1
+
+    def test_default_backlog_behaviour(self):
+        selector = MinimalSelector()
+        assert selector.drain_backlog(0.0) == []
+        assert selector.pending_backlog() == 0
+        assert selector.next_retry_ms(0.0) is None
+
+    def test_default_hooks_are_noops(self):
+        selector = MinimalSelector()
+        selector.on_timeout("x", 0.0)
+        selector.on_duplicate_send("x", 0.0)
+        assert selector.stats()["submitted"] == 0
+
+    def test_abstract_base_cannot_be_instantiated(self):
+        with pytest.raises(TypeError):
+            ReplicaSelector()

@@ -1,0 +1,92 @@
+"""Unit tests for the Dynamic Snitching model."""
+
+import numpy as np
+import pytest
+
+from repro.strategies.dynamic_snitch import DynamicSnitchSelector
+
+
+def make_selector(**overrides):
+    defaults = dict(update_interval_ms=100.0, rng=np.random.default_rng(0))
+    defaults.update(overrides)
+    return DynamicSnitchSelector(**defaults)
+
+
+class TestScoring:
+    def test_prefers_lower_latency_peer_after_update(self):
+        selector = make_selector()
+        for _ in range(5):
+            selector.record_response("slow", None, 50.0, 0.0)
+            selector.record_response("fast", None, 2.0, 0.0)
+        # Force a recomputation by moving past the update interval.
+        assert selector.choose(("slow", "fast"), now=200.0) == "fast"
+
+    def test_scores_are_stale_between_recomputations(self):
+        """The weakness §2.3 highlights: scores only move at fixed intervals."""
+        selector = make_selector()
+        selector.record_response("a", None, 1.0, 0.0)
+        selector.record_response("b", None, 100.0, 0.0)
+        assert selector.choose(("a", "b"), now=150.0) == "a"
+        recomputations = selector.score_recomputations
+        # New information arrives making "a" terrible...
+        for _ in range(10):
+            selector.record_response("a", None, 500.0, 151.0)
+        # ...but within the same interval the choice does not change.
+        assert selector.choose(("a", "b"), now=200.0) == "a"
+        assert selector.score_recomputations == recomputations
+        # After the interval elapses the ranking flips.
+        assert selector.choose(("a", "b"), now=260.0) == "b"
+
+    def test_iowait_dominates_latency(self):
+        iowait = {"compacting": 0.9, "idle": 0.0}
+        selector = make_selector(iowait_fn=lambda s: iowait[s], iowait_weight=100.0)
+        # "compacting" has better latency history but high gossiped iowait.
+        for _ in range(5):
+            selector.record_response("compacting", None, 1.0, 0.0)
+            selector.record_response("idle", None, 10.0, 0.0)
+        assert selector.choose(("compacting", "idle"), now=200.0) == "idle"
+
+    def test_history_reset_after_reset_interval(self):
+        selector = make_selector(reset_interval_ms=1_000.0)
+        selector.record_response("a", None, 50.0, 0.0)
+        selector.choose(("a",), now=150.0)
+        selector.choose(("a",), now=1_500.0)
+        assert selector.history_resets >= 1
+
+    def test_score_recomputation_counter(self):
+        selector = make_selector()
+        selector.record_response("a", None, 1.0, 0.0)
+        selector.choose(("a",), now=150.0)
+        selector.choose(("a",), now=160.0)
+        selector.choose(("a",), now=300.0)
+        assert selector.score_recomputations == 2
+
+    def test_badness_threshold_prefers_static_first_replica(self):
+        selector = make_selector(badness_threshold=0.5)
+        for _ in range(5):
+            selector.record_response("static_first", None, 10.0, 0.0)
+            selector.record_response("slightly_better", None, 9.0, 0.0)
+        # The dynamic best is within the threshold of the static choice, so
+        # the static (first-listed) replica is used.
+        assert selector.choose(("static_first", "slightly_better"), now=200.0) == "static_first"
+
+    def test_unknown_peers_score_zero(self):
+        selector = make_selector()
+        assert selector.score("never-seen") == 0.0
+
+
+class TestValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DynamicSnitchSelector(update_interval_ms=0.0)
+        with pytest.raises(ValueError):
+            DynamicSnitchSelector(reset_interval_ms=0.0)
+        with pytest.raises(ValueError):
+            DynamicSnitchSelector(badness_threshold=1.0)
+
+    def test_stats_shape(self):
+        selector = make_selector()
+        selector.record_response("a", None, 1.0, 0.0)
+        stats = selector.stats()
+        assert stats["tracked_peers"] == 1
+        assert "score_recomputations" in stats

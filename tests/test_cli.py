@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "c3-repro" in capsys.readouterr().out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out and "fig14" in out
+
+    def test_run_light_experiment(self, capsys):
+        assert main(["run", "fig04"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out and "cubic" in out
+
+    def test_simulate_command(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--strategy", "LOR",
+                "--servers", "9",
+                "--clients", "10",
+                "--requests", "300",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LOR" in out and "p99" in out
+
+    def test_cluster_command(self, capsys):
+        code = main(
+            [
+                "cluster",
+                "--strategy", "C3",
+                "--nodes", "5",
+                "--generators", "6",
+                "--duration", "300",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "C3" in out and "throughput" in out

@@ -1,0 +1,105 @@
+"""Unit tests for record-size models and the YCSB-style workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.records import FixedRecordSize, ZipfSkewedRecordSize
+from repro.workloads.ycsb import WORKLOAD_MIXES, WorkloadMix, YCSBWorkload
+
+
+class TestFixedRecordSize:
+    def test_constant_sample(self):
+        model = FixedRecordSize(1024)
+        assert all(model.sample() == 1024 for _ in range(5))
+        assert model.mean() == 1024.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedRecordSize(0)
+
+
+class TestZipfSkewedRecordSize:
+    def test_samples_within_bounds(self):
+        model = ZipfSkewedRecordSize(rng=np.random.default_rng(0))
+        sizes = [model.sample() for _ in range(500)]
+        assert all(model.num_fields * model.min_field_bytes <= s <= model.max_record_bytes for s in sizes)
+
+    def test_favours_shorter_records(self):
+        model = ZipfSkewedRecordSize(rng=np.random.default_rng(1))
+        sizes = np.array([model.sample() for _ in range(2000)])
+        midpoint = (model.num_fields * model.min_field_bytes + model.max_record_bytes) / 2
+        assert np.median(sizes) < midpoint
+
+    def test_mean_estimate_positive_and_bounded(self):
+        model = ZipfSkewedRecordSize()
+        assert 0 < model.mean() <= model.max_record_bytes
+
+    def test_field_sampler(self):
+        model = ZipfSkewedRecordSize(rng=np.random.default_rng(2))
+        fields = [model.sample_field() for _ in range(200)]
+        assert all(model.min_field_bytes <= f <= model.max_field_bytes for f in fields)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSkewedRecordSize(num_fields=0)
+        with pytest.raises(ValueError):
+            ZipfSkewedRecordSize(min_field_bytes=10, max_field_bytes=5)
+        with pytest.raises(ValueError):
+            ZipfSkewedRecordSize(num_fields=10, min_field_bytes=100, max_record_bytes=500)
+        with pytest.raises(ValueError):
+            ZipfSkewedRecordSize(theta=2.0)
+
+
+class TestWorkloadMixes:
+    def test_paper_mixes_present(self):
+        assert WORKLOAD_MIXES["read_heavy"].read_fraction == 0.95
+        assert WORKLOAD_MIXES["update_heavy"].read_fraction == 0.50
+        assert WORKLOAD_MIXES["read_only"].read_fraction == 1.00
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("broken", 1.5)
+
+
+class TestYCSBWorkload:
+    def test_read_fraction_respected(self):
+        workload = YCSBWorkload(mix="update_heavy", num_keys=1000, rng=np.random.default_rng(0))
+        ops = list(workload.operations(4000))
+        read_fraction = sum(op.is_read for op in ops) / len(ops)
+        assert read_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_read_only_mix_has_no_writes(self):
+        workload = YCSBWorkload(mix="read_only", num_keys=100, rng=np.random.default_rng(1))
+        assert all(op.is_read for op in workload.operations(500))
+
+    def test_keys_within_space(self):
+        workload = YCSBWorkload(num_keys=50, rng=np.random.default_rng(2))
+        assert all(0 <= op.key < 50 for op in workload.operations(500))
+
+    def test_record_sizes_from_model(self):
+        workload = YCSBWorkload(
+            num_keys=10, record_sizes=FixedRecordSize(2048), rng=np.random.default_rng(3)
+        )
+        assert all(op.record_size == 2048 for op in workload.operations(20))
+
+    def test_uniform_key_distribution_option(self):
+        workload = YCSBWorkload(num_keys=100, key_distribution="uniform", rng=np.random.default_rng(4))
+        keys = {op.key for op in workload.operations(400)}
+        assert len(keys) > 50
+
+    def test_mix_object_accepted(self):
+        workload = YCSBWorkload(mix=WorkloadMix("custom", 0.25), num_keys=10)
+        assert workload.name == "custom"
+
+    def test_operations_generated_counter(self):
+        workload = YCSBWorkload(num_keys=10, rng=np.random.default_rng(5))
+        list(workload.operations(7))
+        assert workload.operations_generated == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            YCSBWorkload(mix="nonexistent")
+        with pytest.raises(ValueError):
+            YCSBWorkload(key_distribution="weird")
+        with pytest.raises(ValueError):
+            list(YCSBWorkload(num_keys=10).operations(-1))
