@@ -1,5 +1,6 @@
 """Analysis helpers: percentiles, ECDFs, time series and oscillation metrics."""
 
+from .aggregate import ConfidenceInterval, aggregate_metric_samples, mean_ci
 from .ecdf import ECDF, ecdf
 from .oscillation import LoadConditioningReport, burstiness, load_conditioning, oscillation_score
 from .percentiles import LatencySummary, percentile, summarize, tail_to_median_ratio
@@ -7,10 +8,13 @@ from .report import format_comparison, format_summary_rows, format_table, indent
 from .timeseries import downsample, moving_average, moving_median, window_counts
 
 __all__ = [
+    "ConfidenceInterval",
     "ECDF",
     "LatencySummary",
     "LoadConditioningReport",
+    "aggregate_metric_samples",
     "burstiness",
+    "mean_ci",
     "downsample",
     "ecdf",
     "format_comparison",

@@ -1,0 +1,111 @@
+"""Aggregation of replicated measurements: means with confidence intervals.
+
+The sweep runner replicates every grid point across N seeds; this module
+reduces such replicate sets to ``mean ± halfwidth`` summaries.  Intervals use
+the Student-t critical value for small replicate counts (the common case —
+the paper itself uses 5 repetitions) and fall back to the normal quantile
+for large ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ConfidenceInterval", "mean_ci", "aggregate_metric_samples"]
+
+# Two-sided Student-t critical values t_{df, 1-(1-confidence)/2} for the
+# confidence levels the CLI exposes, df = 1..30.  Beyond 30 degrees of
+# freedom the normal quantile is within ~2 % and is used instead.
+_T_TABLE: Mapping[float, tuple[float, ...]] = {
+    0.90: (
+        6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+        1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+        1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697,
+    ),
+    0.95: (
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ),
+    0.99: (
+        63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+        3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+        2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750,
+    ),
+}
+_Z_NORMAL: Mapping[float, float] = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+def _critical_value(n: int, confidence: float) -> float:
+    """Two-sided critical value for a mean CI over ``n`` samples."""
+    if confidence not in _T_TABLE:
+        raise ValueError(
+            f"unsupported confidence {confidence}; choose one of {sorted(_T_TABLE)}"
+        )
+    df = n - 1
+    table = _T_TABLE[confidence]
+    if df <= 0:
+        return 0.0
+    if df <= len(table):
+        return table[df - 1]
+    return _Z_NORMAL[confidence]
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceInterval:
+    """A ``mean ± halfwidth`` interval over ``n`` replicates."""
+
+    mean: float
+    halfwidth: float
+    n: int
+    confidence: float = 0.95
+
+    @property
+    def lo(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.halfwidth
+
+    @property
+    def hi(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.halfwidth
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (used for JSON persistence)."""
+        return {
+            "mean": self.mean,
+            "halfwidth": self.halfwidth,
+            "n": self.n,
+            "confidence": self.confidence,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.mean:.2f} ± {self.halfwidth:.2f}"
+
+
+def mean_ci(samples: Iterable[float] | np.ndarray, confidence: float = 0.95) -> ConfidenceInterval:
+    """The mean of ``samples`` with a two-sided confidence interval.
+
+    A single sample (or an empty set) yields a degenerate interval with a
+    zero halfwidth — there is no variance information to spread over.
+    """
+    arr = np.asarray(list(samples) if not isinstance(samples, np.ndarray) else samples, dtype=float)
+    n = int(arr.size)
+    if n == 0:
+        return ConfidenceInterval(0.0, 0.0, 0, confidence)
+    mean = float(arr.mean())
+    if n == 1:
+        return ConfidenceInterval(mean, 0.0, 1, confidence)
+    sem = float(arr.std(ddof=1)) / float(np.sqrt(n))
+    halfwidth = _critical_value(n, confidence) * sem
+    return ConfidenceInterval(mean, halfwidth, n, confidence)
+
+
+def aggregate_metric_samples(
+    samples_by_metric: Mapping[str, Sequence[float]], confidence: float = 0.95
+) -> dict[str, ConfidenceInterval]:
+    """``mean_ci`` applied to every metric of a replicate set."""
+    return {name: mean_ci(values, confidence) for name, values in samples_by_metric.items()}

@@ -11,6 +11,11 @@ Sub-commands
     Run a single flat-simulator scenario with explicit parameters.
 ``cluster``
     Run a single cluster scenario with explicit parameters.
+``sweep``
+    Expand a parameter grid (strategies × utilizations × fluctuation
+    intervals) across N seeds, execute it through the process-pool sweep
+    runner with per-trial result caching, and print per-grid-point
+    aggregates (mean/median/p99/p99.9/throughput with 95 % CIs).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from . import __version__
 from .analysis.report import format_table
 from .cluster import ClusterConfig, run_cluster
 from .experiments import list_experiments, registry, run_experiment
+from .runner import SweepRunner, SweepSpec, seed_range
 from .simulator import SimulationConfig, run_simulation
 
 __all__ = ["main", "build_parser"]
@@ -59,6 +65,35 @@ def build_parser() -> argparse.ArgumentParser:
     cluster_parser.add_argument("--mix", default="read_heavy", choices=["read_heavy", "read_only", "update_heavy"])
     cluster_parser.add_argument("--disk", default="hdd", choices=["hdd", "ssd"])
     cluster_parser.add_argument("--seed", type=int, default=0)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a multi-seed parameter grid through the process-pool sweep runner"
+    )
+    sweep_parser.add_argument(
+        "--strategy", action="append", dest="strategies", metavar="NAME",
+        help="strategy to include (repeatable; default: C3 LOR RR)",
+    )
+    sweep_parser.add_argument(
+        "--utilization", action="append", dest="utilizations", type=float, metavar="U",
+        help="utilization level to include (repeatable; default: 0.7)",
+    )
+    sweep_parser.add_argument(
+        "--interval", action="append", dest="intervals", type=float, metavar="MS",
+        help="fluctuation interval (ms) to include (repeatable; default: 100)",
+    )
+    sweep_parser.add_argument("--servers", type=int, default=10)
+    sweep_parser.add_argument("--clients", type=int, default=40)
+    sweep_parser.add_argument("--requests", type=int, default=2_000, help="requests per trial")
+    sweep_parser.add_argument("--num-seeds", type=int, default=4, help="replicates per grid point")
+    sweep_parser.add_argument("--base-seed", type=int, default=0, help="first seed of the replicate range")
+    sweep_parser.add_argument("--workers", type=int, default=None, help="pool size (default: CPU count)")
+    sweep_parser.add_argument("--serial", action="store_true", help="run in-process instead of a pool")
+    sweep_parser.add_argument(
+        "--cache-dir", default=".sweep-cache",
+        help="trial result cache directory (default: .sweep-cache)",
+    )
+    sweep_parser.add_argument("--no-cache", action="store_true", help="disable the trial cache")
+    sweep_parser.add_argument("--json", dest="json_path", metavar="PATH", help="also save the full sweep result as JSON")
     return parser
 
 
@@ -112,6 +147,62 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = SweepSpec(
+        base=SimulationConfig(
+            num_servers=args.servers,
+            num_clients=args.clients,
+            num_requests=args.requests,
+        ),
+        grid={
+            "strategy": tuple(args.strategies or ("C3", "LOR", "RR")),
+            "utilization": tuple(args.utilizations or (0.7,)),
+            "fluctuation_interval_ms": tuple(args.intervals or (100.0,)),
+        },
+        seeds=seed_range(args.num_seeds, args.base_seed),
+    )
+    runner = SweepRunner(
+        max_workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        parallel=not args.serial,
+    )
+    mode = "serial" if args.serial else f"pool x{runner.max_workers}"
+    print(f"sweep {spec.key[:12]}: {spec.describe()} [{mode}]")
+    result = runner.run(spec)
+
+    rows = []
+    for point in result.aggregates():
+        metrics = point.metrics
+        rows.append(
+            [
+                point.params["strategy"],
+                point.params["utilization"],
+                point.params["fluctuation_interval_ms"],
+                point.n,
+                str(metrics["mean"]),
+                str(metrics["median"]),
+                str(metrics["p99"]),
+                str(metrics["p999"]),
+                str(metrics["throughput_rps"]),
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "util", "interval (ms)", "n",
+             "mean (ms)", "median (ms)", "p99 (ms)", "p99.9 (ms)", "throughput (req/s)"],
+            rows,
+        )
+    )
+    print(
+        f"trials: {len(result.trials)} total, {result.executed} executed, "
+        f"{result.cached} from cache, wall {result.wall_time_s:.2f}s"
+    )
+    if args.json_path:
+        saved = result.save(args.json_path)
+        print(f"saved: {saved}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -124,6 +215,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_simulate(args)
     if args.command == "cluster":
         return _cmd_cluster(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     parser.print_help()
     return 1
 

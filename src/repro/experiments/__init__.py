@@ -6,7 +6,7 @@ Importing this package registers every experiment into
 """
 
 from .base import ExperimentResult, ExperimentRegistry, registry
-from .common import ClusterScale, run_single_cluster, run_workload_comparison
+from .common import ClusterScale, run_single_cluster, run_workload_comparison, sweep_flat
 
 # Importing the modules registers their experiments.
 from . import (  # noqa: F401  (imported for registration side effects)
@@ -39,6 +39,7 @@ __all__ = [
     "run_experiment",
     "run_single_cluster",
     "run_workload_comparison",
+    "sweep_flat",
 ]
 
 

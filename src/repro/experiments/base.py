@@ -8,10 +8,14 @@ which is how a reader compares the reproduction against the paper's figures).
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..analysis.report import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..runner import SweepRunner
 
 __all__ = ["ExperimentResult", "ExperimentRegistry", "registry"]
 
@@ -84,9 +88,29 @@ class ExperimentRegistry:
             )
         return self._experiments[experiment_id]
 
-    def run(self, experiment_id: str, **kwargs) -> ExperimentResult:
-        """Run an experiment by id."""
-        return self.get(experiment_id)(**kwargs)
+    def supports_runner(self, experiment_id: str) -> bool:
+        """Whether an experiment's ``run`` accepts a sweep ``runner``.
+
+        Simulation-sweep experiments take ``runner`` and dispatch their
+        trials through :class:`~repro.runner.SweepRunner` (process pool,
+        caching); analytic and cluster experiments do not.
+        """
+        return "runner" in inspect.signature(self.get(experiment_id)).parameters
+
+    def run(
+        self, experiment_id: str, runner: "SweepRunner | None" = None, **kwargs
+    ) -> ExperimentResult:
+        """Run an experiment by id.
+
+        ``runner`` is forwarded to experiments that support it (see
+        :meth:`supports_runner`) and silently dropped for the rest, so one
+        call site can fan a shared pooled/cached runner across the whole
+        fig01–fig15 catalogue.
+        """
+        fn = self.get(experiment_id)
+        if runner is not None and self.supports_runner(experiment_id):
+            kwargs["runner"] = runner
+        return fn(**kwargs)
 
     def ids(self) -> list[str]:
         """All registered experiment ids, sorted."""

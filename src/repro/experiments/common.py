@@ -1,18 +1,50 @@
-"""Shared experiment runners (cluster workload comparisons).
+"""Shared experiment runners (flat-simulator sweeps and cluster comparisons).
 
-Figures 6, 7 and 8 all come from the same set of EC2 runs (three workload
-mixes × {C3, Dynamic Snitching}); :func:`run_workload_comparison` is the
-shared runner those experiment modules use, with scaled-down defaults.
+Two families of experiments share infrastructure here:
+
+* Flat-simulator sweeps (figures 14, 15, …) expand a parameter grid across
+  seeds; :func:`sweep_flat` routes them through the
+  :mod:`repro.runner` subsystem, so every such experiment inherits process
+  pooling, per-trial caching and CI aggregation from a single call.
+* Cluster workload comparisons (figures 6, 7, 8 — three workload mixes ×
+  {C3, Dynamic Snitching} on the same EC2-style deployment);
+  :func:`run_workload_comparison` is their shared runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
 
 from ..cluster import ClusterConfig, run_cluster
+from ..runner import SweepRunner, SweepResult, SweepSpec
+from ..simulator import SimulationConfig
 from ..simulator.metrics import SimulationResult
 
-__all__ = ["ClusterScale", "run_workload_comparison", "run_single_cluster"]
+__all__ = [
+    "ClusterScale",
+    "run_workload_comparison",
+    "run_single_cluster",
+    "sweep_flat",
+]
+
+
+def sweep_flat(
+    base: SimulationConfig,
+    grid: Mapping[str, Sequence[Any]],
+    seeds: Sequence[int],
+    runner: SweepRunner | None = None,
+) -> SweepResult:
+    """Run a flat-simulator parameter grid × seeds through the sweep runner.
+
+    Experiments default to a serial, cache-less runner so a bare
+    ``registry.run("fig14")`` behaves exactly like the pre-runner code path;
+    passing ``runner=SweepRunner(max_workers=8, cache_dir=...)`` (directly or
+    via ``registry.run(..., runner=...)``) turns the same experiment into a
+    pooled, cached sweep without touching the experiment module.
+    """
+    runner = runner or SweepRunner(parallel=False)
+    return runner.run(SweepSpec(base=base, grid=grid, seeds=seeds))
 
 
 @dataclass(frozen=True, slots=True)

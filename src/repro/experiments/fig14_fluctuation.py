@@ -10,10 +10,10 @@ C3 stays close to the oracle.
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..simulator import SimulationConfig, run_simulation
+from ..runner import SweepRunner
+from ..simulator import SimulationConfig
 from .base import ExperimentResult, registry
+from .common import sweep_flat
 
 __all__ = ["run", "sweep"]
 
@@ -29,33 +29,29 @@ def sweep(
     num_servers: int = 10,
     num_requests: int = 15_000,
     seeds: tuple[int, ...] = (0,),
+    runner: SweepRunner | None = None,
 ) -> dict[tuple, dict]:
-    """Run the fluctuation sweep; returns {(util, clients, interval, strategy): stats}."""
+    """Run the fluctuation sweep; returns {(util, clients, interval, strategy): stats}.
+
+    The grid executes through the sweep runner (serial by default; pass a
+    pooled/cached :class:`~repro.runner.SweepRunner` to parallelize).
+    """
+    base = SimulationConfig(num_servers=num_servers, num_requests=num_requests)
+    grid = {
+        "utilization": utilizations,
+        "num_clients": client_counts,
+        "fluctuation_interval_ms": intervals_ms,
+        "strategy": strategies,
+    }
     results: dict[tuple, dict] = {}
-    for utilization in utilizations:
-        for clients in client_counts:
-            for interval in intervals_ms:
-                for strategy in strategies:
-                    p99s, p999s, medians = [], [], []
-                    for seed in seeds:
-                        config = SimulationConfig(
-                            num_servers=num_servers,
-                            num_clients=clients,
-                            num_requests=num_requests,
-                            utilization=utilization,
-                            fluctuation_interval_ms=interval,
-                            strategy=strategy,
-                            seed=seed,
-                        )
-                        summary = run_simulation(config).summary
-                        p99s.append(summary.p99)
-                        p999s.append(summary.p999)
-                        medians.append(summary.median)
-                    results[(utilization, clients, interval, strategy)] = {
-                        "p99": float(np.mean(p99s)),
-                        "p999": float(np.mean(p999s)),
-                        "median": float(np.mean(medians)),
-                    }
+    for point in sweep_flat(base, grid, seeds, runner=runner).aggregates():
+        p = point.params
+        key = (p["utilization"], p["num_clients"], p["fluctuation_interval_ms"], p["strategy"])
+        results[key] = {
+            "p99": point.metrics["p99"].mean,
+            "p999": point.metrics["p999"].mean,
+            "median": point.metrics["median"].mean,
+        }
     return results
 
 
@@ -68,6 +64,7 @@ def run(
     num_servers: int = 10,
     num_requests: int = 15_000,
     seeds: tuple[int, ...] = (0,),
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """Reproduce the fluctuation-interval sweep of Figure 14 (scaled down)."""
     results = sweep(
@@ -78,6 +75,7 @@ def run(
         num_servers=num_servers,
         num_requests=num_requests,
         seeds=seeds,
+        runner=runner,
     )
     rows = []
     for (utilization, clients, interval, strategy), stats in results.items():

@@ -8,10 +8,10 @@ queue estimates) keeps it ahead of LOR and RR regardless of the skew.
 
 from __future__ import annotations
 
-import numpy as np
-
-from ..simulator import DemandSkew, SimulationConfig, run_simulation
+from ..runner import SweepRunner
+from ..simulator import DemandSkew, SimulationConfig
 from .base import ExperimentResult, registry
+from .common import sweep_flat
 
 __all__ = ["run"]
 
@@ -26,30 +26,31 @@ def run(
     num_requests: int = 15_000,
     utilization: float = 0.7,
     seeds: tuple[int, ...] = (0,),
+    runner: SweepRunner | None = None,
 ) -> ExperimentResult:
     """Reproduce the demand-skew comparison of Figure 15 (scaled down)."""
+    base = SimulationConfig(
+        num_servers=num_servers,
+        num_clients=num_clients,
+        num_requests=num_requests,
+        utilization=utilization,
+    )
+    grid = {
+        "demand_skew": tuple(
+            DemandSkew(client_fraction=fraction, demand_fraction=0.8) for fraction in skews
+        ),
+        "fluctuation_interval_ms": intervals_ms,
+        "strategy": strategies,
+    }
     rows = []
     data = {}
-    for skew_fraction in skews:
-        skew = DemandSkew(client_fraction=skew_fraction, demand_fraction=0.8)
-        for interval in intervals_ms:
-            for strategy in strategies:
-                p99s = []
-                for seed in seeds:
-                    config = SimulationConfig(
-                        num_servers=num_servers,
-                        num_clients=num_clients,
-                        num_requests=num_requests,
-                        utilization=utilization,
-                        fluctuation_interval_ms=interval,
-                        strategy=strategy,
-                        demand_skew=skew,
-                        seed=seed,
-                    )
-                    p99s.append(run_simulation(config).summary.p99)
-                p99 = float(np.mean(p99s))
-                rows.append([f"{int(skew_fraction * 100)}% of clients", interval, strategy, p99])
-                data[(skew_fraction, interval, strategy)] = p99
+    for point in sweep_flat(base, grid, seeds, runner=runner).aggregates():
+        skew_fraction = point.params["demand_skew"]["client_fraction"]
+        interval = point.params["fluctuation_interval_ms"]
+        strategy = point.params["strategy"]
+        p99 = point.metrics["p99"].mean
+        rows.append([f"{int(skew_fraction * 100)}% of clients", interval, strategy, p99])
+        data[(skew_fraction, interval, strategy)] = p99
     return ExperimentResult(
         experiment_id="fig15",
         title="99th percentile latency (ms) when a client subset generates 80% of demand",

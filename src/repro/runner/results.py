@@ -1,0 +1,194 @@
+"""Per-trial summaries and their reduction into per-grid-point aggregates.
+
+A :class:`TrialResult` is the JSON-serializable distillation of one
+:class:`~repro.simulator.metrics.SimulationResult`: the latency summary, the
+throughput, the bookkeeping counters, and a content digest of the full
+measurement (so determinism can be asserted across serial and process-pool
+execution without shipping latency arrays between processes).
+
+:func:`aggregate_trials` groups replicated trials by grid point and reduces
+each metric across seeds into a mean with a confidence interval
+(:mod:`repro.analysis.aggregate`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from ..analysis.aggregate import ConfidenceInterval, aggregate_metric_samples
+from .spec import canonical_json
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..simulator.metrics import SimulationResult
+    from .spec import TrialSpec
+
+__all__ = ["TrialResult", "GridPointAggregate", "SweepResult", "aggregate_trials"]
+
+#: Metrics reduced across seeds, in report-column order.
+AGGREGATE_METRICS = ("mean", "median", "p95", "p99", "p999", "throughput_rps")
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """The persisted summary of one executed trial."""
+
+    params: dict
+    seed: int
+    strategy: str
+    key: str
+    summary: dict
+    throughput_rps: float
+    completed_requests: int
+    issued_requests: int
+    duplicate_requests: int
+    backpressure_events: int
+    duration_ms: float
+    result_digest: str
+    wall_time_s: float
+    from_cache: bool = False
+
+    @classmethod
+    def from_simulation(
+        cls, trial: "TrialSpec", result: "SimulationResult", wall_time_s: float
+    ) -> "TrialResult":
+        """Distill a full simulation result into its persisted summary."""
+        return cls(
+            params=dict(trial.params),
+            seed=trial.seed,
+            strategy=result.strategy or trial.config.strategy,
+            key=trial.key,
+            summary=result.summary.as_dict(),
+            throughput_rps=result.throughput_rps,
+            completed_requests=result.completed_requests,
+            issued_requests=result.issued_requests,
+            duplicate_requests=result.duplicate_requests,
+            backpressure_events=result.backpressure_events,
+            duration_ms=result.duration_ms,
+            result_digest=result.digest(),
+            wall_time_s=wall_time_s,
+        )
+
+    def metric(self, name: str) -> float:
+        """One aggregatable metric value (summary stat or throughput)."""
+        if name == "throughput_rps":
+            return float(self.throughput_rps)
+        if name == "p999":
+            return float(self.summary["p99.9"])
+        return float(self.summary[name])
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (``from_cache`` is runtime state, excluded)."""
+        return {
+            "params": self.params,
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "key": self.key,
+            "summary": self.summary,
+            "throughput_rps": self.throughput_rps,
+            "completed_requests": self.completed_requests,
+            "issued_requests": self.issued_requests,
+            "duplicate_requests": self.duplicate_requests,
+            "backpressure_events": self.backpressure_events,
+            "duration_ms": self.duration_ms,
+            "result_digest": self.result_digest,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, from_cache: bool = False) -> "TrialResult":
+        """Rebuild from :meth:`to_dict` output (e.g. a cache entry)."""
+        return cls(from_cache=from_cache, **payload)
+
+
+@dataclass(frozen=True)
+class GridPointAggregate:
+    """One grid point's metrics reduced across its seed replicates."""
+
+    params: dict
+    n: int
+    seeds: tuple[int, ...]
+    metrics: dict[str, ConfidenceInterval]
+
+    def to_dict(self) -> dict:
+        return {
+            "params": self.params,
+            "n": self.n,
+            "seeds": list(self.seeds),
+            "metrics": {name: ci.as_dict() for name, ci in self.metrics.items()},
+        }
+
+
+def aggregate_trials(
+    trials: Iterable[TrialResult], confidence: float = 0.95
+) -> list[GridPointAggregate]:
+    """Group trials by grid point and reduce each metric across seeds.
+
+    Grid points appear in first-seen order, which for runner output matches
+    the spec's expansion order regardless of parallel completion order.
+    """
+    groups: dict[str, list[TrialResult]] = {}
+    for trial in trials:
+        groups.setdefault(canonical_json(trial.params), []).append(trial)
+    aggregates = []
+    for members in groups.values():
+        samples = {name: [t.metric(name) for t in members] for name in AGGREGATE_METRICS}
+        aggregates.append(
+            GridPointAggregate(
+                params=dict(members[0].params),
+                n=len(members),
+                seeds=tuple(t.seed for t in members),
+                metrics=aggregate_metric_samples(samples, confidence),
+            )
+        )
+    return aggregates
+
+
+@dataclass
+class SweepResult:
+    """Everything one :class:`~repro.runner.SweepRunner.run` produced."""
+
+    spec_key: str
+    trials: list[TrialResult] = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+    wall_time_s: float = 0.0
+
+    def aggregates(self, confidence: float = 0.95) -> list[GridPointAggregate]:
+        """Per-grid-point reductions across seeds (spec expansion order)."""
+        return aggregate_trials(self.trials, confidence)
+
+    def trial_digests(self) -> list[str]:
+        """The measurement digests in expansion order (determinism checks)."""
+        return [t.result_digest for t in self.trials]
+
+    def to_dict(self) -> dict:
+        return {
+            "spec_key": self.spec_key,
+            "executed": self.executed,
+            "cached": self.cached,
+            "wall_time_s": self.wall_time_s,
+            "trials": [t.to_dict() for t in self.trials],
+            "aggregates": [a.to_dict() for a in self.aggregates()],
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the sweep (trials + aggregates) as a JSON document."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SweepResult":
+        """Rebuild a :class:`SweepResult` from :meth:`save` output."""
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        return cls(
+            spec_key=payload["spec_key"],
+            trials=[TrialResult.from_dict(t) for t in payload["trials"]],
+            executed=payload["executed"],
+            cached=payload["cached"],
+            wall_time_s=payload["wall_time_s"],
+        )

@@ -1,0 +1,142 @@
+"""The process-pool sweep runner.
+
+:class:`SweepRunner` executes every trial of a :class:`~repro.runner.SweepSpec`
+— in a :class:`~concurrent.futures.ProcessPoolExecutor` by default, serially
+on request — with per-trial result caching keyed by the trial's config
+content hash.
+
+Determinism: a trial's outcome is a pure function of its resolved
+``SimulationConfig`` (every random stream in the simulator derives from
+``config.seed``), so execution order, worker count, and serial-vs-pool mode
+cannot change results.  The runner additionally restores spec expansion
+order when collecting parallel completions, so ``SweepResult.trials`` is
+stable too.  The determinism regression suite asserts both properties via
+:meth:`~repro.simulator.metrics.SimulationResult.digest`.
+
+Only config payloads (plain dicts) and trial-summary dicts cross the process
+boundary; workers rebuild the config themselves, which keeps the pickled
+payloads tiny and spawn-start-method safe.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+from ..simulator.simulation import run_simulation
+from .cache import TrialCache
+from .results import SweepResult, TrialResult
+from .spec import SweepSpec, TrialSpec, config_to_payload, payload_to_config
+
+__all__ = ["SweepRunner", "execute_trial"]
+
+
+def execute_trial(job: dict) -> dict:
+    """Run one trial from its wire payload; module-level so pools can pickle it.
+
+    ``job`` carries ``{"index", "key", "params", "seed", "config"}`` where
+    ``config`` is :func:`~repro.runner.spec.config_to_payload` output; the
+    return value is ``{"index", "trial"}`` with a
+    :meth:`~repro.runner.results.TrialResult.to_dict` payload.
+    """
+    config = payload_to_config(job["config"])
+    started = time.perf_counter()
+    result = run_simulation(config)
+    wall = time.perf_counter() - started
+    trial = TrialSpec(index=job["index"], params=job["params"], seed=job["seed"], config=config)
+    payload = TrialResult.from_simulation(trial, result, wall).to_dict()
+    # Record the key the scheduler looked up, not one recomputed from the
+    # round-tripped config: payload_to_config normalizes types (e.g. float
+    # 40.0 → int 40), and a key drift here would make cache writes land
+    # under a key that is never read back.
+    payload["key"] = job["key"]
+    return {"index": job["index"], "trial": payload}
+
+
+class SweepRunner:
+    """Executes sweep specs with caching and optional process-pool fan-out.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to the machine's CPU count.  ``1`` degenerates
+        to serial in-process execution (no pool is created).
+    cache_dir:
+        Root of the per-trial result cache; ``None`` disables caching.
+    parallel:
+        ``False`` forces serial in-process execution regardless of
+        ``max_workers`` (useful for debugging and determinism baselines).
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        cache_dir: str | os.PathLike | None = None,
+        parallel: bool = True,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.cache = TrialCache(cache_dir) if cache_dir is not None else None
+        self.parallel = parallel
+
+    # ---------------------------------------------------------------- running
+    def run(self, spec: SweepSpec) -> SweepResult:
+        """Execute (or fetch from cache) every trial of ``spec``."""
+        started = time.perf_counter()
+        trials = spec.trials()
+        slots: list[TrialResult | None] = [None] * len(trials)
+        pending: list[tuple[TrialSpec, str]] = []
+
+        for trial in trials:
+            key = trial.key
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                try:
+                    slots[trial.index] = TrialResult.from_dict(cached, from_cache=True)
+                except TypeError:
+                    # Schema drift (an entry written by an older TrialResult
+                    # layout) behaves like corruption: a miss, re-executed
+                    # and overwritten.
+                    slots[trial.index] = None
+            if slots[trial.index] is None:
+                pending.append((trial, key))
+
+        for index, payload in self._execute(pending):
+            result = TrialResult.from_dict(payload)
+            slots[index] = result
+            if self.cache is not None:
+                self.cache.put(result.key, payload)
+
+        assert all(slot is not None for slot in slots)
+        return SweepResult(
+            spec_key=spec.key,
+            trials=list(slots),  # type: ignore[arg-type]
+            executed=len(pending),
+            cached=len(trials) - len(pending),
+            wall_time_s=time.perf_counter() - started,
+        )
+
+    def _execute(self, pending: Sequence[tuple[TrialSpec, str]]) -> list[tuple[int, dict]]:
+        """Run the cache misses, serially or through the pool."""
+        jobs = [
+            {
+                "index": trial.index,
+                "key": key,
+                "params": trial.params,
+                "seed": trial.seed,
+                "config": config_to_payload(trial.config),
+            }
+            for trial, key in pending
+        ]
+        if not jobs:
+            return []
+        if not self.parallel or self.max_workers == 1 or len(jobs) == 1:
+            outputs = [execute_trial(job) for job in jobs]
+        else:
+            workers = min(self.max_workers, len(jobs))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outputs = list(pool.map(execute_trial, jobs))
+        return [(out["index"], out["trial"]) for out in outputs]

@@ -4,6 +4,23 @@ The paper's §6 evaluation uses a purpose-built discrete-event simulator
 ("absim"); this module provides the equivalent substrate from scratch: a
 priority-queue driven event loop with cancellable timers.  Time is a float in
 milliseconds throughout the code base.
+
+Two hot-path details matter at scale:
+
+* The heap stores ``(time, seq, event)`` tuples rather than :class:`Event`
+  objects, so every sift comparison is a C-level tuple comparison instead of
+  a Python-level ``__lt__`` call (``seq`` is unique, so the ``event`` slot is
+  never compared).
+* Cancellation is lazy: a cancelled event stays in the heap (popping from
+  the middle of a binary heap is O(n)) and is discarded when it reaches the
+  top.  Workloads that cancel aggressively — speculative retries, timeout
+  timers that almost always get cancelled — can accumulate a large fraction
+  of dead entries, inflating every subsequent push/pop by the extra heap
+  depth.  The loop therefore tracks the number of cancelled-but-queued
+  events and compacts the heap in place (filter + re-heapify, O(n)) once
+  dead entries exceed half of a sufficiently large heap, which keeps the
+  amortised cost of cancellation O(log n) without ever changing observable
+  event ordering.
 """
 
 from __future__ import annotations
@@ -26,7 +43,7 @@ class Event:
     :meth:`EventLoop.schedule_at` and may be cancelled before they fire.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "kwargs", "cancelled", "_loop")
 
     def __init__(self, time: float, seq: int, callback: Callable, args: tuple, kwargs: dict) -> None:
         self.time = time
@@ -35,10 +52,16 @@ class Event:
         self.args = args
         self.kwargs = kwargs
         self.cancelled = False
+        self._loop: "EventLoop | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        loop = self._loop
+        if loop is not None:
+            loop._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -55,12 +78,20 @@ class EventLoop:
     keeps runs reproducible for a fixed random seed.
     """
 
+    #: Heaps smaller than this are never compacted (filtering a tiny heap
+    #: costs more in constant factors than the dead entries do).
+    COMPACT_MIN_SIZE = 64
+    #: Compact when cancelled entries exceed this fraction of the heap.
+    COMPACT_DEAD_FRACTION = 0.5
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        # Heap entries are (time, seq, event): see the module docstring.
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._processed = 0
         self._running = False
+        self._dead = 0  # cancelled events still sitting in the heap
 
     # ------------------------------------------------------------------ clock
     @property
@@ -78,6 +109,11 @@ class EventLoop:
         """Number of events still queued (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def live_pending_events(self) -> int:
+        """Number of queued events that are not cancelled."""
+        return len(self._heap) - self._dead
+
     # ------------------------------------------------------------- scheduling
     def schedule(self, delay: float, callback: Callable, *args, **kwargs) -> Event:
         """Schedule ``callback`` to run ``delay`` ms from now."""
@@ -91,9 +127,29 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(float(time), next(self._seq), callback, args, kwargs)
-        heapq.heappush(self._heap, event)
+        seq = next(self._seq)
+        event = Event(float(time), seq, callback, args, kwargs)
+        event._loop = self
+        heapq.heappush(self._heap, (event.time, seq, event))
         return event
+
+    # ------------------------------------------------------------ compaction
+    def _note_cancelled(self) -> None:
+        """Bookkeeping hook called by :meth:`Event.cancel`."""
+        self._dead += 1
+        heap = self._heap
+        if len(heap) >= self.COMPACT_MIN_SIZE and self._dead > len(heap) * self.COMPACT_DEAD_FRACTION:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, preserving (time, seq) order.
+
+        Mutates ``self._heap`` in place so that aliases held by a running
+        :meth:`run` loop stay valid.
+        """
+        self._heap[:] = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     # -------------------------------------------------------------- execution
     def step(self) -> bool:
@@ -102,8 +158,10 @@ class EventLoop:
         Returns True if an event fired, False when the queue is empty.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
+            event._loop = None
             if event.cancelled:
+                self._dead -= 1
                 continue
             self._now = event.time
             self._processed += 1
@@ -120,19 +178,30 @@ class EventLoop:
             raise SimulationError("event loop is already running (re-entrant run())")
         self._running = True
         fired = 0
+        # The inner loop is the simulator's hottest path (one iteration per
+        # simulated event); keep bound-method and module lookups out of it.
+        heap = self._heap
+        heappop = heapq.heappop
+        unbounded = max_events is None
         try:
-            while self._heap:
-                if max_events is not None and fired >= max_events:
+            while heap:
+                if not unbounded and fired >= max_events:
                     break
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
+                time, _seq, event = heap[0]
+                if event.cancelled:
+                    heappop(heap)
+                    event._loop = None
+                    self._dead -= 1
                     continue
-                if until is not None and nxt.time > until:
+                if until is not None and time > until:
                     break
-                self.step()
+                heappop(heap)
+                event._loop = None
+                self._now = time
+                self._processed += 1
                 fired += 1
-            if until is not None and (not self._heap or self._heap[0].time > until):
+                event.callback(*event.args, **event.kwargs)
+            if until is not None and (not heap or heap[0][0] > until):
                 # Advance the clock to the requested horizon even if the last
                 # event fired earlier, so periodic observers see a full window.
                 self._now = max(self._now, until)
@@ -145,5 +214,20 @@ class EventLoop:
         return self.run(until=None, max_events=max_events)
 
     def clear(self) -> None:
-        """Drop every pending event (used between test scenarios)."""
+        """Drop every pending event and reset the loop for reuse.
+
+        Besides emptying the heap this resets the drained-heap bookkeeping
+        (cancelled-entry count, fired-event counter, FIFO sequence counter)
+        so a loop can be safely reused between scenarios.  The re-entrancy
+        guard is left alone: ``run()`` owns it via try/finally — even a
+        callback calling ``clear()`` mid-run must not open the door to a
+        nested ``run()``.  The clock is also intentionally left where it is:
+        callers that want a fresh timeline should build a fresh
+        :class:`EventLoop`.
+        """
+        for entry in self._heap:
+            entry[2]._loop = None
         self._heap.clear()
+        self._dead = 0
+        self._processed = 0
+        self._seq = itertools.count()

@@ -9,6 +9,7 @@ percentiles).
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable
@@ -103,6 +104,38 @@ class SimulationResult:
     def read_summary(self) -> LatencySummary:
         """Latency summary over completed reads only."""
         return summarize(self.read_latencies_ms)
+
+    def digest(self) -> str:
+        """A content hash over everything the simulation measured.
+
+        Two runs of the same configuration and seed must produce the same
+        digest — this is what the determinism regression suite asserts, and
+        what the sweep runner records so serial and process-pool execution
+        can be compared byte-for-byte without shipping raw latency arrays
+        around.  The ``extra`` dict is deliberately excluded: it carries
+        run metadata (config object, host details), not measurements.
+        """
+        h = hashlib.sha256()
+        for arr in (self.latencies_ms, self.read_latencies_ms, self.write_latencies_ms):
+            h.update(np.ascontiguousarray(arr, dtype=float).tobytes())
+        h.update(
+            repr(
+                (
+                    round(self.duration_ms, 9),
+                    self.completed_requests,
+                    self.issued_requests,
+                    self.duplicate_requests,
+                    self.backpressure_events,
+                    self.window_ms,
+                    self.strategy,
+                )
+            ).encode()
+        )
+        for sid in sorted(self.server_load_series, key=repr):
+            h.update(repr(sid).encode())
+            h.update(np.ascontiguousarray(self.server_load_series[sid]).tobytes())
+        h.update(repr(sorted(self.per_server_completed.items(), key=lambda kv: repr(kv[0]))).encode())
+        return h.hexdigest()
 
     def hottest_server(self) -> Hashable | None:
         """The server that completed the most requests (Fig. 8/9 subject)."""

@@ -1,0 +1,85 @@
+"""Determinism regression suite.
+
+The contract everything else (caching, parallel sweeps, reproducibility of
+the paper's figures) depends on: a ``SimulationConfig`` plus its seed fully
+determines the ``SimulationResult`` — byte for byte, in the same process, in
+a fresh run, and across serial vs. process-pool execution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runner import SweepRunner, SweepSpec
+from repro.simulator import SimulationConfig, run_simulation
+
+STRATEGIES = ("C3", "LOR", "RR")
+
+
+def tiny_config(strategy: str, **overrides) -> SimulationConfig:
+    params = dict(
+        num_servers=9,
+        num_clients=10,
+        num_requests=300,
+        utilization=0.6,
+        strategy=strategy,
+        seed=7,
+    )
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+class TestSameProcessDeterminism:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_two_runs_are_byte_identical(self, strategy):
+        a = run_simulation(tiny_config(strategy))
+        b = run_simulation(tiny_config(strategy))
+        assert a.latencies_ms.tobytes() == b.latencies_ms.tobytes()
+        assert a.read_latencies_ms.tobytes() == b.read_latencies_ms.tobytes()
+        assert a.write_latencies_ms.tobytes() == b.write_latencies_ms.tobytes()
+        assert a.duration_ms == b.duration_ms
+        assert a.completed_requests == b.completed_requests
+        assert a.issued_requests == b.issued_requests
+        assert a.duplicate_requests == b.duplicate_requests
+        assert a.backpressure_events == b.backpressure_events
+        assert set(a.server_load_series) == set(b.server_load_series)
+        for sid, series in a.server_load_series.items():
+            assert np.array_equal(series, b.server_load_series[sid])
+        assert a.digest() == b.digest()
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_different_seeds_differ(self, strategy):
+        a = run_simulation(tiny_config(strategy, seed=7))
+        b = run_simulation(tiny_config(strategy, seed=8))
+        assert a.digest() != b.digest()
+
+    def test_digest_covers_the_strategy_label(self):
+        # Two strategies on the same seed must not collide.
+        digests = {run_simulation(tiny_config(s)).digest() for s in STRATEGIES}
+        assert len(digests) == len(STRATEGIES)
+
+
+class TestSerialVsPoolDeterminism:
+    def test_pool_execution_matches_serial_byte_for_byte(self):
+        spec = SweepSpec(
+            base=tiny_config("C3", num_requests=200),
+            grid={"strategy": STRATEGIES},
+            seeds=(0, 1),
+        )
+        serial = SweepRunner(parallel=False).run(spec)
+        pooled = SweepRunner(max_workers=2).run(spec)
+        assert serial.trial_digests() == pooled.trial_digests()
+        for s, p in zip(serial.trials, pooled.trials):
+            assert (s.params, s.seed) == (p.params, p.seed)
+            assert s.summary == p.summary
+            assert s.throughput_rps == p.throughput_rps
+            assert s.duration_ms == p.duration_ms
+
+    def test_in_process_run_matches_runner_trials(self):
+        # The runner's worker path (payload → config → run) must be a
+        # faithful replay of calling run_simulation directly.
+        config = tiny_config("LOR", num_requests=200, seed=3)
+        direct = run_simulation(config)
+        spec = SweepSpec(base=config.copy(seed=0), grid={}, seeds=(3,))
+        [trial] = SweepRunner(max_workers=2).run(spec).trials
+        assert trial.result_digest == direct.digest()
+        assert trial.summary == direct.summary.as_dict()

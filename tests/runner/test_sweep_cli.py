@@ -1,0 +1,71 @@
+"""Tests for the ``sweep`` CLI command and its cache behavior."""
+
+from repro.cli import main
+from repro.runner import SweepResult
+
+#: ≥3 configs (strategies) × ≥4 seeds, kept tiny so the suite stays fast.
+SWEEP_ARGS = [
+    "sweep",
+    "--strategy", "C3",
+    "--strategy", "LOR",
+    "--strategy", "RR",
+    "--utilization", "0.6",
+    "--servers", "9",
+    "--clients", "8",
+    "--requests", "150",
+    "--num-seeds", "4",
+    "--workers", "2",
+]
+
+
+def run_sweep(capsys, *extra: str) -> str:
+    assert main(SWEEP_ARGS + list(extra)) == 0
+    return capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_prints_aggregate_table_with_cis(self, capsys, tmp_path):
+        out = run_sweep(capsys, "--cache-dir", str(tmp_path / "cache"))
+        assert "3 strategy × 1 utilization × 1 fluctuation_interval_ms × 4 seeds = 12 trials" in out
+        for strategy in ("C3", "LOR", "RR"):
+            assert strategy in out
+        assert "p99 (ms)" in out and "p99.9 (ms)" in out and "throughput" in out
+        assert "±" in out  # confidence intervals are shown
+        assert "12 executed, 0 from cache" in out
+
+    def test_identical_invocation_served_from_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = run_sweep(capsys, "--cache-dir", cache)
+        second = run_sweep(capsys, "--cache-dir", cache)
+        assert "12 executed, 0 from cache" in first
+        assert "0 executed, 12 from cache" in second
+        # Cached rerun reproduces the aggregate table exactly.
+        table = lambda out: [l for l in out.splitlines() if "±" in l]
+        assert table(first) == table(second)
+
+    def test_spec_change_invalidates_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_sweep(capsys, "--cache-dir", cache)
+        out = run_sweep(capsys, "--cache-dir", cache, "--requests", "151")
+        assert "12 executed, 0 from cache" in out
+
+    def test_no_cache_flag_disables_reuse(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        run_sweep(capsys, "--cache-dir", cache, "--no-cache")
+        out = run_sweep(capsys, "--cache-dir", cache, "--no-cache")
+        assert "12 executed, 0 from cache" in out
+
+    def test_serial_mode_and_json_export(self, capsys, tmp_path):
+        json_path = tmp_path / "result.json"
+        out = run_sweep(
+            capsys, "--cache-dir", str(tmp_path / "cache"), "--serial", "--json", str(json_path)
+        )
+        assert "[serial]" in out
+        assert json_path.is_file()
+        loaded = SweepResult.load(json_path)
+        assert len(loaded.trials) == 12
+        assert len(loaded.aggregates()) == 3
+
+    def test_sweep_listed_in_help(self, capsys):
+        assert main([]) == 1
+        assert "sweep" in capsys.readouterr().out

@@ -143,3 +143,115 @@ class TestRun:
         loop.clear()
         loop.run_until_idle()
         assert fired == []
+
+
+class TestClearReuse:
+    """Regression: clear() must reset bookkeeping so a loop can be reused."""
+
+    def test_clear_resets_counters_and_seq(self):
+        loop = EventLoop()
+        loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None).cancel()
+        loop.run_until_idle()
+        loop.schedule(5.0, lambda: None)
+        loop.clear()
+        assert loop.pending_events == 0
+        assert loop.live_pending_events == 0
+        assert loop.processed_events == 0
+
+        # The FIFO sequence restarts, so a reused loop keeps same-time
+        # scheduling order starting from a clean slate.
+        order = []
+        for name in "abc":
+            loop.schedule_at(loop.now + 1.0, order.append, name)
+        loop.run_until_idle()
+        assert order == ["a", "b", "c"]
+        assert loop.processed_events == 3
+
+    def test_clear_resets_cancelled_bookkeeping(self):
+        loop = EventLoop()
+        events = [loop.schedule(float(i + 1), lambda: None) for i in range(10)]
+        for event in events:
+            event.cancel()
+        loop.clear()
+        assert loop.pending_events == 0
+        assert loop.live_pending_events == 0
+        # Cancelling the stale handles after clear() must not corrupt the
+        # dead-entry counter of subsequently scheduled work.
+        for event in events:
+            event.cancel()
+        fired = []
+        loop.schedule(1.0, fired.append, "fresh")
+        assert loop.live_pending_events == 1
+        loop.run_until_idle()
+        assert fired == ["fresh"]
+
+    def test_clear_inside_callback_leaves_loop_reusable(self):
+        loop = EventLoop()
+        fired = []
+
+        def clearing():
+            fired.append("clearing")
+            loop.clear()
+
+        loop.schedule(1.0, clearing)
+        loop.schedule(2.0, fired.append, "dropped")
+        loop.run_until_idle()
+        assert fired == ["clearing"]
+
+        loop.schedule(1.0, fired.append, "second-life")
+        loop.run_until_idle()
+        assert fired == ["clearing", "second-life"]
+
+    def test_clear_inside_callback_keeps_reentrancy_guard(self):
+        loop = EventLoop()
+        seen = []
+
+        def clearing_then_nesting():
+            loop.clear()
+            with pytest.raises(SimulationError):
+                loop.run()  # the outer run() is still live
+            seen.append("guarded")
+
+        loop.schedule(1.0, clearing_then_nesting)
+        loop.run_until_idle()
+        assert seen == ["guarded"]
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        loop = EventLoop()
+        keep, cancel = [], []
+        for i in range(200):
+            event = loop.schedule(float(i), lambda: None)
+            (cancel if i % 4 else keep).append(event)
+        for event in cancel:
+            event.cancel()
+        # >50% of a >=64-entry heap is dead: the heap must have shrunk.
+        assert loop.pending_events < 200
+        assert loop.live_pending_events == len(keep)
+
+    def test_compaction_preserves_pending_semantics(self):
+        loop = EventLoop()
+        fired = []
+        survivors = []
+        for i in range(300):
+            event = loop.schedule(float(i % 7), fired.append, i)
+            if i % 5 == 0:
+                survivors.append(i)
+            else:
+                event.cancel()
+        loop.run_until_idle()
+        assert sorted(fired) == survivors
+        # Survivors fire in (time, seq) order.
+        times = [(i % 7, i) for i in fired]
+        assert times == sorted(times)
+
+    def test_small_heaps_are_not_compacted(self):
+        loop = EventLoop()
+        events = [loop.schedule(float(i), lambda: None) for i in range(10)]
+        for event in events[:9]:
+            event.cancel()
+        # Below COMPACT_MIN_SIZE, cancelled entries stay queued lazily.
+        assert loop.pending_events == 10
+        assert loop.live_pending_events == 1

@@ -1,0 +1,119 @@
+"""Property-based tests for the discrete-event loop (hypothesis).
+
+These pin down the invariants the whole simulator's determinism rests on:
+
+* events fire in ``(time, seq)`` order — same-time events FIFO;
+* cancelled events never fire, whatever the cancellation pattern;
+* ``run(until=h)`` never executes an event scheduled past ``h``;
+* lazy heap compaction is invisible: any cancellation pattern leaves the
+  surviving schedule's semantics untouched.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.engine import EventLoop
+
+# Times are non-negative, finite, and deliberately drawn from a small range
+# with coarse granularity so collisions (same-time events) are common.
+times = st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+#: One scheduling instruction: (absolute time, cancel this event?).
+ops = st.lists(st.tuples(times, st.booleans()), min_size=0, max_size=150)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops)
+def test_events_fire_in_time_then_seq_order(ops):
+    loop = EventLoop()
+    fired: list[int] = []
+    expected: list[tuple[float, int]] = []
+    for seq, (time, _) in enumerate(ops):
+        loop.schedule_at(time, fired.append, seq)
+        expected.append((time, seq))
+    loop.run_until_idle()
+    expected.sort()
+    assert [seq for _, seq in expected] == fired
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops)
+def test_cancelled_events_never_fire(ops):
+    loop = EventLoop()
+    fired: list[int] = []
+    survivors: list[int] = []
+    for seq, (time, cancel) in enumerate(ops):
+        event = loop.schedule_at(time, fired.append, seq)
+        if cancel:
+            event.cancel()
+            event.cancel()  # double-cancel must be harmless
+        else:
+            survivors.append(seq)
+    loop.run_until_idle()
+    assert sorted(fired) == survivors
+    assert loop.live_pending_events == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=ops, horizon=times)
+def test_run_until_never_passes_the_horizon(ops, horizon):
+    loop = EventLoop()
+    fired_times: list[float] = []
+    for time, _ in ops:
+        loop.schedule_at(time, lambda t=time: fired_times.append(t))
+    loop.run(until=horizon)
+    assert all(t <= horizon for t in fired_times)
+    assert loop.now >= horizon  # clock reaches the horizon even when idle
+    # Exactly the events at or before the horizon fired.
+    assert len(fired_times) == sum(1 for t, _ in ops if t <= horizon)
+    # The remainder still fires afterwards — nothing was lost at the boundary.
+    loop.run_until_idle()
+    assert len(fired_times) == len(ops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(st.tuples(times, st.booleans()), min_size=80, max_size=250))
+def test_compaction_preserves_pending_event_semantics(ops):
+    """Reference semantics: a loop that compacts must match one that cannot."""
+    compacting = EventLoop()
+    reference = EventLoop()
+    reference.COMPACT_MIN_SIZE = 10**9  # effectively disable compaction
+    fired_a: list[int] = []
+    fired_b: list[int] = []
+    for seq, (time, cancel) in enumerate(ops):
+        ev_a = compacting.schedule_at(time, fired_a.append, seq)
+        ev_b = reference.schedule_at(time, fired_b.append, seq)
+        if cancel:
+            ev_a.cancel()
+            ev_b.cancel()
+    assert compacting.live_pending_events == reference.live_pending_events
+    compacting.run_until_idle()
+    reference.run_until_idle()
+    assert fired_a == fired_b
+    assert compacting.now == reference.now
+    assert compacting.processed_events == reference.processed_events
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(st.tuples(times, st.booleans()), min_size=1, max_size=100),
+    data=st.data(),
+)
+def test_step_horizon_interleaving_matches_single_run(ops, data):
+    """Driving the loop in random run(until=...) slices equals one big run."""
+    sliced = EventLoop()
+    oneshot = EventLoop()
+    fired_sliced: list[int] = []
+    fired_oneshot: list[int] = []
+    for seq, (time, cancel) in enumerate(ops):
+        ev_a = sliced.schedule_at(time, fired_sliced.append, seq)
+        ev_b = oneshot.schedule_at(time, fired_oneshot.append, seq)
+        if cancel:
+            ev_a.cancel()
+            ev_b.cancel()
+    horizon = 0.0
+    while sliced.live_pending_events:
+        horizon += data.draw(st.floats(min_value=0.5, max_value=20.0), label="slice")
+        sliced.run(until=horizon)
+    oneshot.run_until_idle()
+    assert fired_sliced == fired_oneshot
