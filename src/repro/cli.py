@@ -13,14 +13,18 @@ Sub-commands
     Run a single cluster scenario with explicit parameters.
 ``sweep``
     Expand a parameter grid (strategies × utilizations × fluctuation
-    intervals) across N seeds, execute it through the process-pool sweep
-    runner with per-trial result caching, and print per-grid-point
-    aggregates (mean/median/p99/p99.9/throughput with 95 % CIs).
+    intervals × scenarios) across N seeds, execute it through the
+    process-pool sweep runner with per-trial result caching, and print
+    per-grid-point aggregates (mean/median/p99/p99.9/throughput with 95 %
+    CIs).
+``scenarios``
+    List the builtin fault/perturbation scenarios and their knobs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -29,6 +33,7 @@ from .analysis.report import format_table
 from .cluster import ClusterConfig, run_cluster
 from .experiments import list_experiments, registry, run_experiment
 from .runner import SweepRunner, SweepSpec, seed_range
+from .scenarios import get_scenario, scenario_names
 from .simulator import SimulationConfig, run_simulation
 
 __all__ = ["main", "build_parser"]
@@ -47,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = sub.add_parser("run", help="run one experiment by id")
     run_parser.add_argument("experiment_id", help="experiment id (see `c3-repro list`)")
+    run_parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="scenario override for experiments that accept one (see `c3-repro scenarios`)",
+    )
 
     sim_parser = sub.add_parser("simulate", help="run one flat-simulator scenario")
     sim_parser.add_argument("--strategy", default="C3")
@@ -56,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
     sim_parser.add_argument("--utilization", type=float, default=0.7)
     sim_parser.add_argument("--interval", type=float, default=100.0, help="fluctuation interval (ms)")
     sim_parser.add_argument("--seed", type=int, default=0)
+    sim_parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="named perturbation scenario (see `c3-repro scenarios`)",
+    )
+    sim_parser.add_argument(
+        "--scenario-param", action="append", dest="scenario_params", metavar="KEY=VALUE",
+        help="override one scenario knob (repeatable; values parsed as JSON, else string)",
+    )
 
     cluster_parser = sub.add_parser("cluster", help="run one cluster scenario")
     cluster_parser.add_argument("--strategy", default="C3")
@@ -81,6 +98,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--interval", action="append", dest="intervals", type=float, metavar="MS",
         help="fluctuation interval (ms) to include (repeatable; default: 100)",
     )
+    sweep_parser.add_argument(
+        "--scenario", action="append", dest="scenarios", metavar="NAME",
+        help="scenario to grid over (repeatable; see `c3-repro scenarios`; "
+             "default: legacy fluctuation fields, no scenario dimension)",
+    )
     sweep_parser.add_argument("--servers", type=int, default=10)
     sweep_parser.add_argument("--clients", type=int, default=40)
     sweep_parser.add_argument("--requests", type=int, default=2_000, help="requests per trial")
@@ -94,7 +116,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--no-cache", action="store_true", help="disable the trial cache")
     sweep_parser.add_argument("--json", dest="json_path", metavar="PATH", help="also save the full sweep result as JSON")
+
+    sub.add_parser("scenarios", help="list builtin fault/perturbation scenarios")
     return parser
+
+
+def _check_scenarios(names: Sequence[str]) -> str | None:
+    """An error message when any name is not a registered scenario."""
+    known = scenario_names()
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        return (
+            f"unknown scenario{'s' if len(unknown) > 1 else ''} "
+            f"{', '.join(repr(n) for n in unknown)}; available scenarios: {', '.join(known)}"
+        )
+    return None
+
+
+def _parse_scenario_params(pairs: Sequence[str] | None) -> dict:
+    """Parse repeated ``KEY=VALUE`` flags (JSON values, falling back to str)."""
+    params: dict = {}
+    for pair in pairs or ():
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"malformed --scenario-param {pair!r}; expected KEY=VALUE")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
 
 
 def _cmd_list() -> int:
@@ -103,22 +153,61 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment_id: str) -> int:
-    result = run_experiment(experiment_id)
+def _cmd_scenarios() -> int:
+    rows = []
+    for name in scenario_names():
+        definition = get_scenario(name)
+        knobs = ", ".join(f"{k}={v!r}" for k, v in sorted(definition.knobs.items())) or "-"
+        rows.append([name, definition.description, knobs])
+    print(format_table(["scenario", "description", "knobs (defaults)"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = {}
+    if args.scenario is not None:
+        error = _check_scenarios([args.scenario])
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        if not registry.supports_param(args.experiment_id, "scenario"):
+            print(
+                f"experiment {args.experiment_id!r} does not accept a --scenario override",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["scenario"] = args.scenario
+    result = run_experiment(args.experiment_id, **kwargs)
     print(result.to_text())
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    config = SimulationConfig(
-        num_servers=args.servers,
-        num_clients=args.clients,
-        num_requests=args.requests,
-        utilization=args.utilization,
-        fluctuation_interval_ms=args.interval,
-        strategy=args.strategy,
-        seed=args.seed,
-    )
+    if args.scenario is not None:
+        error = _check_scenarios([args.scenario])
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+    elif args.scenario_params:
+        print("--scenario-param requires --scenario", file=sys.stderr)
+        return 2
+    try:
+        config = SimulationConfig(
+            num_servers=args.servers,
+            num_clients=args.clients,
+            num_requests=args.requests,
+            utilization=args.utilization,
+            fluctuation_interval_ms=args.interval,
+            strategy=args.strategy,
+            seed=args.seed,
+            scenario=args.scenario,
+            scenario_params=_parse_scenario_params(args.scenario_params),
+        )
+    except ValueError as error:
+        # Malformed KEY=VALUE pairs, unknown scenario knobs, and invalid
+        # config values all surface as the CLI's clean exit-2 error shape.
+        print(error, file=sys.stderr)
+        return 2
     result = run_simulation(config)
     summary = result.summary
     rows = [[args.strategy, summary.mean, summary.median, summary.p95, summary.p99, summary.p999, result.throughput_rps]]
@@ -148,17 +237,24 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    grid = {
+        "strategy": tuple(args.strategies or ("C3", "LOR", "RR")),
+        "utilization": tuple(args.utilizations or (0.7,)),
+        "fluctuation_interval_ms": tuple(args.intervals or (100.0,)),
+    }
+    if args.scenarios:
+        error = _check_scenarios(args.scenarios)
+        if error:
+            print(error, file=sys.stderr)
+            return 2
+        grid["scenario"] = tuple(args.scenarios)
     spec = SweepSpec(
         base=SimulationConfig(
             num_servers=args.servers,
             num_clients=args.clients,
             num_requests=args.requests,
         ),
-        grid={
-            "strategy": tuple(args.strategies or ("C3", "LOR", "RR")),
-            "utilization": tuple(args.utilizations or (0.7,)),
-            "fluctuation_interval_ms": tuple(args.intervals or (100.0,)),
-        },
+        grid=grid,
         seeds=seed_range(args.num_seeds, args.base_seed),
     )
     runner = SweepRunner(
@@ -170,14 +266,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"sweep {spec.key[:12]}: {spec.describe()} [{mode}]")
     result = runner.run(spec)
 
+    param_headers = {
+        "strategy": "strategy",
+        "utilization": "util",
+        "fluctuation_interval_ms": "interval (ms)",
+        "scenario": "scenario",
+    }
+    grid_keys = list(grid)
     rows = []
     for point in result.aggregates():
         metrics = point.metrics
         rows.append(
-            [
-                point.params["strategy"],
-                point.params["utilization"],
-                point.params["fluctuation_interval_ms"],
+            [point.params[key] for key in grid_keys]
+            + [
                 point.n,
                 str(metrics["mean"]),
                 str(metrics["median"]),
@@ -188,8 +289,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     print(
         format_table(
-            ["strategy", "util", "interval (ms)", "n",
-             "mean (ms)", "median (ms)", "p99 (ms)", "p99.9 (ms)", "throughput (req/s)"],
+            [param_headers.get(key, key) for key in grid_keys]
+            + ["n", "mean (ms)", "median (ms)", "p99 (ms)", "p99.9 (ms)", "throughput (req/s)"],
             rows,
         )
     )
@@ -209,8 +310,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "scenarios":
+        return _cmd_scenarios()
     if args.command == "run":
-        return _cmd_run(args.experiment_id)
+        return _cmd_run(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
     if args.command == "cluster":

@@ -11,6 +11,7 @@ from .common import ClusterScale, run_single_cluster, run_workload_comparison, s
 # Importing the modules registers their experiments.
 from . import (  # noqa: F401  (imported for registration side effects)
     ablations,
+    crash_recovery,
     fig01_motivating,
     fig02_oscillation,
     fig04_scoring,
@@ -25,6 +26,7 @@ from . import (  # noqa: F401  (imported for registration side effects)
     fig13_rate_adaptation,
     fig14_fluctuation,
     fig15_skew,
+    gc_storm,
     skewed_records,
     speculative_retry,
     table1_survey,

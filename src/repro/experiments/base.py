@@ -88,6 +88,10 @@ class ExperimentRegistry:
             )
         return self._experiments[experiment_id]
 
+    def supports_param(self, experiment_id: str, name: str) -> bool:
+        """Whether an experiment's ``run`` accepts the keyword ``name``."""
+        return name in inspect.signature(self.get(experiment_id)).parameters
+
     def supports_runner(self, experiment_id: str) -> bool:
         """Whether an experiment's ``run`` accepts a sweep ``runner``.
 
@@ -95,7 +99,7 @@ class ExperimentRegistry:
         trials through :class:`~repro.runner.SweepRunner` (process pool,
         caching); analytic and cluster experiments do not.
         """
-        return "runner" in inspect.signature(self.get(experiment_id)).parameters
+        return self.supports_param(experiment_id, "runner")
 
     def run(
         self, experiment_id: str, runner: "SweepRunner | None" = None, **kwargs

@@ -23,6 +23,7 @@ from ..simulator.metrics import SimulationResult
 
 __all__ = [
     "ClusterScale",
+    "run_scenario_comparison",
     "run_workload_comparison",
     "run_single_cluster",
     "sweep_flat",
@@ -45,6 +46,48 @@ def sweep_flat(
     """
     runner = runner or SweepRunner(parallel=False)
     return runner.run(SweepSpec(base=base, grid=grid, seeds=seeds))
+
+
+def run_scenario_comparison(
+    scenario: str,
+    strategies: Sequence[str],
+    num_servers: int,
+    num_clients: int,
+    num_requests: int,
+    utilization: float,
+    seeds: Sequence[int],
+    runner: SweepRunner | None = None,
+    reference: str = "baseline",
+) -> dict[tuple[str, str], dict]:
+    """Sweep ``{reference, scenario} × strategies`` and aggregate per point.
+
+    The shared core of the scenario-engine experiments (``gc_storm``,
+    ``crash_recovery``): a flat-simulator grid comparing every strategy
+    under a perturbation scenario against an unperturbed reference, with
+    the legacy fluctuation disabled so the scenario is the only dynamic.
+    Returns ``{(scenario, strategy): {median, p99, p999, throughput_rps}}``.
+    ``scenario == reference`` degenerates to a single-scenario sweep rather
+    than running the reference twice.
+    """
+    base = SimulationConfig(
+        num_servers=num_servers,
+        num_clients=num_clients,
+        num_requests=num_requests,
+        utilization=utilization,
+        fluctuation_enabled=False,
+    )
+    scenarios = (reference,) if scenario == reference else (reference, scenario)
+    grid = {"scenario": scenarios, "strategy": tuple(strategies)}
+    results: dict[tuple[str, str], dict] = {}
+    for point in sweep_flat(base, grid, seeds, runner=runner).aggregates():
+        key = (point.params["scenario"], point.params["strategy"])
+        results[key] = {
+            "median": point.metrics["median"].mean,
+            "p99": point.metrics["p99"].mean,
+            "p999": point.metrics["p999"].mean,
+            "throughput_rps": point.metrics["throughput_rps"].mean,
+        }
+    return results
 
 
 @dataclass(frozen=True, slots=True)

@@ -1,0 +1,67 @@
+"""GC-storm scenario — C3 vs baselines under frequent long pauses.
+
+The paper's motivation (§1–2) names garbage-collection pauses as a primary
+source of the performance fluctuations adaptive replica selection must
+absorb.  This experiment drives the flat simulator through the scenario
+engine's ``gc-storm`` scenario (Poisson-arriving multi-tens-of-ms pauses on
+every server) and compares C3 against least-outstanding-requests and
+Cassandra's dynamic snitch, with the unperturbed ``baseline`` scenario as
+the reference point.  The interesting quantity is how much each strategy's
+tail inflates between baseline and storm.
+"""
+
+from __future__ import annotations
+
+from ..runner import SweepRunner
+from .base import ExperimentResult, registry
+from .common import run_scenario_comparison
+
+__all__ = ["run"]
+
+_DEFAULT_STRATEGIES = ("C3", "LOR", "DS")
+
+
+@registry.register("gc_storm", "Tail latency under GC-pause storms (scenario engine)")
+def run(
+    strategies: tuple[str, ...] = _DEFAULT_STRATEGIES,
+    scenario: str = "gc-storm",
+    num_servers: int = 10,
+    num_clients: int = 40,
+    num_requests: int = 6_000,
+    utilization: float = 0.6,
+    seeds: tuple[int, ...] = (0,),
+    runner: SweepRunner | None = None,
+) -> ExperimentResult:
+    """Compare strategies under ``scenario`` against the unperturbed baseline."""
+    results = run_scenario_comparison(
+        scenario, strategies, num_servers, num_clients, num_requests,
+        utilization, seeds, runner=runner,
+    )
+    rows = []
+    for (scenario_name, strategy), stats in results.items():
+        baseline_p99 = results[("baseline", strategy)]["p99"]
+        inflation = stats["p99"] / baseline_p99 if baseline_p99 > 0 else float("nan")
+        rows.append(
+            [
+                scenario_name,
+                strategy,
+                stats["median"],
+                stats["p99"],
+                stats["p999"],
+                inflation,
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="gc_storm",
+        title=f"Tail latency under the {scenario!r} scenario vs baseline",
+        headers=["scenario", "strategy", "median (ms)", "p99 (ms)", "p99.9 (ms)", "p99 vs baseline"],
+        rows=rows,
+        notes=[
+            "Expectation (paper §1–2, §6): feedback-driven C3 keeps its p99 inflation under a "
+            "storm well below queue-blind strategies, because the cubic replica ranking walks "
+            "around paused servers while LOR/DS keep feeding them until their queues betray them.",
+            f"Scenario engine: scaled to {num_servers} servers, {num_requests} requests/run, "
+            f"seeds={list(seeds)}; rerun with --scenario to swap in any registered scenario.",
+        ],
+        data=results,
+    )

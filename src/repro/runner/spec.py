@@ -2,7 +2,10 @@
 
 A :class:`SweepSpec` names a base :class:`~repro.simulator.SimulationConfig`,
 a grid of field overrides (``{"strategy": ("C3", "LOR"), "utilization":
-(0.45, 0.7)}``) and a tuple of seeds.  Expanding the spec yields one
+(0.45, 0.7), "scenario": ("baseline", "gc-storm")}``) and a tuple of seeds.
+Scenario names (and ``scenario_params``) are ordinary config fields, so
+fault-injection scenarios sweep, hash and cache exactly like any other
+dimension — changing only the scenario produces a different trial key.  Expanding the spec yields one
 :class:`TrialSpec` per (grid point × seed), each with a fully resolved
 config and a content hash that keys the result cache: any change to any
 config field — including the seed — produces a different key, while an

@@ -1,0 +1,234 @@
+"""Declarative scenario components.
+
+Each component is a frozen dataclass of plain-JSON-able knobs; ``start``
+instantiates the corresponding imperative process from
+:mod:`repro.scenarios.processes` (or schedules events directly) against a
+:class:`~repro.scenarios.base.ScenarioContext`.  Components are the
+vocabulary builtin scenarios are written in, and the intended extension
+point for new ones: a new workload is a new combination of these (or one new
+component), not a new simulator code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .base import ScenarioComponent, ScenarioContext
+from .processes import (
+    ArrivalRateSchedule,
+    BimodalFluctuation,
+    CrashSchedule,
+    LatencyInflation,
+    TransientSlowdowns,
+)
+
+__all__ = [
+    "BimodalServiceRates",
+    "CrashWindows",
+    "GCPauses",
+    "HeterogeneousServiceRates",
+    "LoadSpike",
+    "NetworkDelayChange",
+    "SlowServers",
+]
+
+
+@dataclass(frozen=True)
+class BimodalServiceRates(ScenarioComponent):
+    """The paper's §6 fluctuation model as a component.
+
+    Servers flip between μ and ``rate_multiplier × μ`` every
+    ``interval_ms``, independently, with probability ``fast_probability`` of
+    the fast mode.
+    """
+
+    interval_ms: float = 100.0
+    rate_multiplier: float = 3.0
+    fast_probability: float = 0.5
+    targets: object = "all"
+
+    def start(self, ctx: ScenarioContext) -> None:
+        process = BimodalFluctuation(
+            loop=ctx.loop,
+            servers=ctx.resolve_targets(self.targets),
+            interval_ms=self.interval_ms,
+            rate_multiplier=self.rate_multiplier,
+            fast_probability=self.fast_probability,
+            rng=ctx.spawn_rng(),
+        )
+        object.__setattr__(self, "_process", process)
+        process.start()
+
+    def stop(self) -> None:
+        getattr(self, "_process").stop()
+
+
+@dataclass(frozen=True)
+class GCPauses(ScenarioComponent):
+    """Poisson-arriving GC-pause-like slowdowns on the target servers."""
+
+    mean_interarrival_ms: float = 1000.0
+    mean_duration_ms: float = 100.0
+    slowdown_factor: float = 4.0
+    targets: object = "all"
+
+    def start(self, ctx: ScenarioContext) -> None:
+        process = TransientSlowdowns(
+            loop=ctx.loop,
+            servers=ctx.resolve_targets(self.targets),
+            mean_interarrival_ms=self.mean_interarrival_ms,
+            mean_duration_ms=self.mean_duration_ms,
+            slowdown_factor=self.slowdown_factor,
+            rng=ctx.spawn_rng(),
+        )
+        object.__setattr__(self, "_process", process)
+        process.start()
+
+    def stop(self) -> None:
+        getattr(self, "_process").stop()
+
+
+@dataclass(frozen=True)
+class SlowServers(ScenarioComponent):
+    """Scripted slowdown episodes on the target servers.
+
+    ``end_ms=None`` makes the slowdown permanent — a heterogeneity /
+    "one bad node" model rather than an episode.
+    """
+
+    factor: float = 4.0
+    start_ms: float = 0.0
+    end_ms: float | None = None
+    targets: object = 0
+
+    def start(self, ctx: ScenarioContext) -> None:
+        processes = []
+        for server in ctx.resolve_targets(self.targets):
+            process = LatencyInflation(
+                ctx.loop, server, episodes=[(self.start_ms, self.end_ms, self.factor)]
+            )
+            process.start()
+            processes.append(process)
+        object.__setattr__(self, "_processes", processes)
+
+    def stop(self) -> None:
+        for process in getattr(self, "_processes"):
+            process.stop()
+
+
+@dataclass(frozen=True)
+class CrashWindows(ScenarioComponent):
+    """Crash + restart the target servers on a staggered schedule.
+
+    Target server ``k`` (in resolution order) crashes at
+    ``first_at_ms + k × stagger_ms`` and restarts ``down_ms`` later
+    (``down_ms=None`` = permanent failure).  ``repeats`` > 1 replays the
+    window every ``period_ms``.
+    """
+
+    first_at_ms: float = 250.0
+    down_ms: float | None = 400.0
+    stagger_ms: float = 600.0
+    repeats: int = 1
+    period_ms: float = 2000.0
+    targets: object = (0,)
+
+    def start(self, ctx: ScenarioContext) -> None:
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        windows = []
+        for k, server in enumerate(ctx.resolve_targets(self.targets)):
+            for r in range(self.repeats):
+                start = self.first_at_ms + k * self.stagger_ms + r * self.period_ms
+                end = None if self.down_ms is None else start + self.down_ms
+                windows.append((server, start, end))
+        process = CrashSchedule(ctx.loop, windows)
+        object.__setattr__(self, "_process", process)
+        process.start()
+
+    def stop(self) -> None:
+        getattr(self, "_process").stop()
+
+
+@dataclass(frozen=True)
+class NetworkDelayChange(ScenarioComponent):
+    """Swap the network model at ``at_ms`` (latency step and/or jitter).
+
+    With ``jitter_ms=0`` this is a pure latency step
+    (:class:`~repro.simulator.network.ConstantLatency`); with a positive
+    jitter the model becomes
+    :class:`~repro.simulator.network.JitteredLatency` around ``delay_ms``.
+    """
+
+    at_ms: float = 0.0
+    delay_ms: float = 0.25
+    jitter_ms: float = 0.0
+
+    def start(self, ctx: ScenarioContext) -> None:
+        from ..simulator.network import ConstantLatency, JitteredLatency
+
+        if self.jitter_ms > 0:
+            model = JitteredLatency(self.delay_ms, self.jitter_ms, rng=ctx.spawn_rng())
+        else:
+            model = ConstantLatency(self.delay_ms)
+        object.__setattr__(self, "_ctx", ctx)
+        object.__setattr__(self, "_original", ctx.network)
+        event = ctx.loop.schedule_at(self.at_ms, ctx.set_network, model)
+        object.__setattr__(self, "_event", event)
+
+    def stop(self) -> None:
+        # Cancel the pending swap (no-op if it already fired) before
+        # restoring, so a stale event cannot re-apply the model afterwards.
+        getattr(self, "_event").cancel()
+        getattr(self, "_ctx").set_network(getattr(self, "_original"))
+
+
+@dataclass(frozen=True)
+class LoadSpike(ScenarioComponent):
+    """Multiply the arrival rate by ``factor`` between ``start_ms`` and ``end_ms``."""
+
+    start_ms: float = 500.0
+    end_ms: float | None = 1000.0
+    factor: float = 2.0
+
+    def start(self, ctx: ScenarioContext) -> None:
+        steps = [(self.start_ms, self.factor)]
+        if self.end_ms is not None:
+            if self.end_ms <= self.start_ms:
+                raise ValueError("end_ms must follow start_ms")
+            steps.append((self.end_ms, 1.0))
+        process = ArrivalRateSchedule(ctx.loop, ctx.arrival_process, steps)
+        object.__setattr__(self, "_process", process)
+        process.start()
+
+    def stop(self) -> None:
+        getattr(self, "_process").stop()
+
+
+@dataclass(frozen=True)
+class HeterogeneousServiceRates(ScenarioComponent):
+    """Static per-server speed diversity.
+
+    Each target server gets a service-*time* multiplier drawn uniformly from
+    ``[1/spread, spread]`` (from the scenario RNG stream), modeling a fleet
+    of unequal machines rather than time-varying behavior.
+    """
+
+    spread: float = 2.0
+    targets: object = "all"
+
+    def start(self, ctx: ScenarioContext) -> None:
+        if self.spread < 1.0:
+            raise ValueError("spread must be >= 1")
+        rng = ctx.spawn_rng()
+        servers = ctx.resolve_targets(self.targets)
+        for server in servers:
+            server.set_service_time_multiplier(
+                float(rng.uniform(1.0 / self.spread, self.spread)), source=self
+            )
+        object.__setattr__(self, "_servers", servers)
+
+    def stop(self) -> None:
+        for server in getattr(self, "_servers"):
+            server.set_service_time_multiplier(1.0, source=self)

@@ -19,12 +19,15 @@ from .engine import Event, EventLoop
 from .metrics import MetricsCollector
 from .network import NetworkModel
 from .request import Request, RequestKind
-from .server import SimServer
+from .server import DownServerTracker, SimServer
 
 __all__ = ["SimClient"]
 
 #: Minimum delay before re-checking a backpressured backlog (ms).
 _MIN_RETRY_MS = 0.1
+
+#: Delay before re-trying requests parked because every replica was down (ms).
+_PARKED_RETRY_MS = 5.0
 
 
 class SimClient:
@@ -49,6 +52,12 @@ class SimClient:
         group (Cassandra's default of 10 % is used throughout the paper).
     rng:
         Random generator (read-repair coin flips).
+    down_tracker:
+        Shared crashed-server count (scenario fault injection).  When any
+        server is down the client filters dead replicas out of the candidate
+        set before replica selection; when the whole group is down the
+        request is parked and retried until a replica returns.  ``None``
+        disables all liveness checks.
     """
 
     def __init__(
@@ -61,6 +70,7 @@ class SimClient:
         metrics: MetricsCollector,
         read_repair_probability: float = 0.1,
         rng: np.random.Generator | None = None,
+        down_tracker: DownServerTracker | None = None,
     ) -> None:
         if not 0.0 <= read_repair_probability <= 1.0:
             raise ValueError("read_repair_probability must be in [0, 1]")
@@ -72,19 +82,34 @@ class SimClient:
         self.metrics = metrics
         self.read_repair_probability = read_repair_probability
         self.rng = rng or np.random.default_rng()
+        self.down_tracker = down_tracker
 
         self._retry_event: Event | None = None
+        self._parked: list[Request] = []
+        self._parked_event: Event | None = None
         self.requests_handled = 0
         self.responses_handled = 0
         self.read_repairs_issued = 0
+        self.requests_parked = 0
 
     # -------------------------------------------------------------- entry point
     def on_request(self, request: Request) -> None:
         """Handle a newly generated request."""
         self.requests_handled += 1
         self.metrics.on_issue(request)
+        self._submit(request)
+
+    def _submit(self, request: Request) -> None:
+        """Route a request through liveness filtering and replica selection."""
         now = self.loop.now
-        decision = self.selector.submit(request, request.replica_group, now)
+        candidates = request.replica_group
+        if self.down_tracker is not None and self.down_tracker.count:
+            live = tuple(sid for sid in candidates if self.servers[sid].is_up)
+            if not live:
+                self._park(request)
+                return
+            candidates = live
+        decision = self.selector.submit(request, candidates, now)
         if decision.sent:
             self._dispatch(request, decision.server_id)
             self._maybe_read_repair(request)
@@ -95,9 +120,16 @@ class SimClient:
 
     # ------------------------------------------------------------------ dispatch
     def _dispatch(self, request: Request, server_id: Hashable) -> None:
+        server = self.servers[server_id]
+        if self.down_tracker is not None and self.down_tracker.count and not server.is_up:
+            # A selector-internal placement (backlog drain) raced with a
+            # crash: release the selector's accounting and park the request
+            # for a fresh selection once a replica is back.
+            self.selector.on_timeout(server_id, self.loop.now)
+            self._park(request)
+            return
         now = self.loop.now
         request.mark_dispatched(now, server_id)
-        server = self.servers[server_id]
         delay = self.network.one_way_delay(self.client_id, server_id)
         self.loop.schedule(delay, server.enqueue, request)
 
@@ -114,8 +146,11 @@ class SimClient:
             return
         if self.rng.random() >= self.read_repair_probability:
             return
+        down = self.down_tracker is not None and self.down_tracker.count
         for server_id in request.replica_group:
             if server_id == request.server_id:
+                continue
+            if down and not self.servers[server_id].is_up:
                 continue
             duplicate = Request.create(
                 client_id=self.client_id,
@@ -148,6 +183,27 @@ class SimClient:
         if self.selector.pending_backlog() > 0:
             self._schedule_retry(self.selector.next_retry_ms(now) or _MIN_RETRY_MS)
 
+    # -------------------------------------------------------------------- parking
+    def _park(self, request: Request) -> None:
+        """Hold a request whose every live routing option is gone.
+
+        Parked requests are re-submitted every ``_PARKED_RETRY_MS`` until a
+        replica restarts (or the simulation's time cap ends the run); each
+        park counts as a backpressure event.
+        """
+        request.backpressured = True
+        self.metrics.on_backpressure()
+        self.requests_parked += 1
+        self._parked.append(request)
+        if self._parked_event is None or self._parked_event.cancelled:
+            self._parked_event = self.loop.schedule(_PARKED_RETRY_MS, self._retry_parked)
+
+    def _retry_parked(self) -> None:
+        self._parked_event = None
+        parked, self._parked = self._parked, []
+        for request in parked:
+            self._submit(request)
+
     # -------------------------------------------------------------------- retries
     def _schedule_retry(self, delay_ms: float) -> None:
         if self._retry_event is not None and not self._retry_event.cancelled:
@@ -174,5 +230,6 @@ class SimClient:
             "requests_handled": self.requests_handled,
             "responses_handled": self.responses_handled,
             "read_repairs_issued": self.read_repairs_issued,
+            "requests_parked": self.requests_parked,
             "selector": self.selector.stats(),
         }

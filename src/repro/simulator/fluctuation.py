@@ -1,189 +1,26 @@
-"""Time-varying server performance models (§6).
+"""Time-varying server performance models (§6) — compatibility re-exports.
 
-The paper's simulator flips each server, every ``T`` ms (the *fluctuation
-interval*), between its nominal service rate μ and a degraded/boosted rate
-μ·D with uniform probability, yielding a bimodal performance distribution.
-:class:`BimodalFluctuation` reproduces that; :class:`LatencyInflation`
-models the targeted ``tc``-style slowdowns of §5 (Figure 13); and
-:class:`TransientSlowdowns` produces Poisson-arriving slow periods (GC-pause
-like) for robustness experiments.
+The three historical fluctuation processes now live in
+:mod:`repro.scenarios.processes` as the primitives of the general scenario
+engine; this module re-exports them so paper-era imports
+(``from repro.simulator.fluctuation import BimodalFluctuation``) keep
+working.  New code should compose scenarios
+(:mod:`repro.scenarios`) instead of instantiating processes directly:
+
+* :class:`BimodalFluctuation` ↔ the ``bimodal`` scenario /
+  :class:`~repro.scenarios.components.BimodalServiceRates` component;
+* :class:`LatencyInflation` ↔ the ``slow-node`` scenario /
+  :class:`~repro.scenarios.components.SlowServers` component;
+* :class:`TransientSlowdowns` ↔ the ``gc-storm`` scenario /
+  :class:`~repro.scenarios.components.GCPauses` component.
+
+All three gained a ``stop()`` method that cancels pending events and
+restores nominal server speeds, which makes ``EventLoop.clear()`` reuse safe
+even when a perturbation fires exactly at the simulation horizon.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
-
-import numpy as np
-
-from .engine import EventLoop
-from .server import SimServer
+from ..scenarios.processes import BimodalFluctuation, LatencyInflation, TransientSlowdowns
 
 __all__ = ["BimodalFluctuation", "LatencyInflation", "TransientSlowdowns"]
-
-
-class BimodalFluctuation:
-    """Every ``interval_ms``, each server independently picks one of two modes.
-
-    Parameters
-    ----------
-    loop:
-        Event loop to schedule the periodic mode switches on.
-    servers:
-        Servers whose speed is driven by this process.
-    interval_ms:
-        The fluctuation interval ``T``.
-    rate_multiplier:
-        The ``D`` parameter: the alternative mode's service *rate* is
-        ``D × μ`` (so its service time is ``1/D`` of nominal).  The paper uses
-        ``D = 3``.
-    fast_probability:
-        Probability of picking the ``D×`` mode at each flip (0.5 in the paper,
-        i.e. uniform).
-    rng:
-        Random generator used for the independent per-server coin flips.
-    """
-
-    def __init__(
-        self,
-        loop: EventLoop,
-        servers: Sequence[SimServer],
-        interval_ms: float = 100.0,
-        rate_multiplier: float = 3.0,
-        fast_probability: float = 0.5,
-        rng: np.random.Generator | None = None,
-    ) -> None:
-        if interval_ms <= 0:
-            raise ValueError("interval_ms must be positive")
-        if rate_multiplier <= 0:
-            raise ValueError("rate_multiplier must be positive")
-        if not 0.0 <= fast_probability <= 1.0:
-            raise ValueError("fast_probability must be in [0, 1]")
-        self.loop = loop
-        self.servers = list(servers)
-        self.interval_ms = float(interval_ms)
-        self.rate_multiplier = float(rate_multiplier)
-        self.fast_probability = float(fast_probability)
-        self.rng = rng or np.random.default_rng()
-        self.flips = 0
-        self._started = False
-
-    @property
-    def mean_service_rate_factor(self) -> float:
-        """The average rate multiplier ``(1 + D)/2`` used for sizing load."""
-        return (1.0 + self.rate_multiplier) / 2.0
-
-    def start(self) -> None:
-        """Apply an initial mode to every server and begin flipping."""
-        if self._started:
-            return
-        self._started = True
-        self._flip()
-
-    def _flip(self) -> None:
-        for server in self.servers:
-            if self.rng.random() < self.fast_probability:
-                server.set_service_rate_multiplier(self.rate_multiplier)
-            else:
-                server.set_service_rate_multiplier(1.0)
-            self.flips += 1
-        self.loop.schedule(self.interval_ms, self._flip)
-
-
-class LatencyInflation:
-    """Deterministic, scripted slow-downs of specific servers.
-
-    Used to reproduce the Figure 13 experiment where a tracked node's
-    latencies are artificially inflated three times during a run.
-
-    Parameters
-    ----------
-    loop / server:
-        Event loop and the server to manipulate.
-    episodes:
-        Iterable of ``(start_ms, end_ms, slowdown_factor)`` tuples; during
-        each episode the server's service time is multiplied by the factor.
-    """
-
-    def __init__(
-        self,
-        loop: EventLoop,
-        server: SimServer,
-        episodes: Iterable[tuple[float, float, float]],
-    ) -> None:
-        self.loop = loop
-        self.server = server
-        self.episodes = sorted(episodes)
-        for start, end, factor in self.episodes:
-            if end <= start:
-                raise ValueError(f"episode end must follow start: {(start, end)}")
-            if factor <= 0:
-                raise ValueError("slowdown factor must be positive")
-        self.active_episodes = 0
-
-    def start(self) -> None:
-        """Schedule all episodes."""
-        for start, end, factor in self.episodes:
-            self.loop.schedule_at(start, self._begin, factor)
-            self.loop.schedule_at(end, self._end)
-
-    def _begin(self, factor: float) -> None:
-        self.active_episodes += 1
-        self.server.set_service_time_multiplier(factor)
-
-    def _end(self) -> None:
-        self.active_episodes = max(0, self.active_episodes - 1)
-        if self.active_episodes == 0:
-            self.server.set_service_time_multiplier(1.0)
-
-
-class TransientSlowdowns:
-    """Poisson-arriving transient slowdowns (GC-pause-like events).
-
-    Each affected server is slowed by ``slowdown_factor`` for an
-    exponentially distributed duration.  Events arrive per server as a
-    Poisson process with the given mean inter-arrival time.
-    """
-
-    def __init__(
-        self,
-        loop: EventLoop,
-        servers: Sequence[SimServer],
-        mean_interarrival_ms: float = 5000.0,
-        mean_duration_ms: float = 200.0,
-        slowdown_factor: float = 4.0,
-        rng: np.random.Generator | None = None,
-        on_event: Callable[[SimServer, float, float], None] | None = None,
-    ) -> None:
-        if mean_interarrival_ms <= 0 or mean_duration_ms <= 0:
-            raise ValueError("mean durations must be positive")
-        if slowdown_factor <= 0:
-            raise ValueError("slowdown_factor must be positive")
-        self.loop = loop
-        self.servers = list(servers)
-        self.mean_interarrival_ms = float(mean_interarrival_ms)
-        self.mean_duration_ms = float(mean_duration_ms)
-        self.slowdown_factor = float(slowdown_factor)
-        self.rng = rng or np.random.default_rng()
-        self.on_event = on_event
-        self.events = 0
-
-    def start(self) -> None:
-        """Schedule the first slowdown for every server."""
-        for server in self.servers:
-            self._schedule_next(server)
-
-    def _schedule_next(self, server: SimServer) -> None:
-        gap = float(self.rng.exponential(self.mean_interarrival_ms))
-        self.loop.schedule(gap, self._begin, server)
-
-    def _begin(self, server: SimServer) -> None:
-        duration = float(self.rng.exponential(self.mean_duration_ms))
-        server.set_service_time_multiplier(self.slowdown_factor)
-        self.events += 1
-        if self.on_event is not None:
-            self.on_event(server, self.loop.now, duration)
-        self.loop.schedule(duration, self._end, server)
-
-    def _end(self, server: SimServer) -> None:
-        server.set_service_time_multiplier(1.0)
-        self._schedule_next(server)

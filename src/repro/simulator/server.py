@@ -21,7 +21,21 @@ from ..core.feedback import ServerFeedback
 from .engine import EventLoop
 from .request import Request
 
-__all__ = ["SimServer"]
+__all__ = ["DownServerTracker", "SimServer"]
+
+
+class DownServerTracker:
+    """Shared count of currently-crashed servers.
+
+    One instance is shared by every server and client of a simulation so the
+    client request path can skip all liveness filtering with a single integer
+    check when nothing is down (the overwhelmingly common case).
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
 
 
 class SimServer:
@@ -58,6 +72,7 @@ class SimServer:
         deterministic: bool = False,
         on_complete: Callable[[Request, ServerFeedback, float], None] | None = None,
         feedback_alpha: float = 0.9,
+        down_tracker: DownServerTracker | None = None,
     ) -> None:
         if base_service_time_ms <= 0:
             raise ValueError("base_service_time_ms must be positive")
@@ -72,9 +87,12 @@ class SimServer:
         self.on_complete = on_complete
 
         self._service_time_multiplier = 1.0
+        self._speed_factors: dict[object, float] = {}
         self._queue: deque[Request] = deque()
         self._in_service = 0
         self._service_time_ewma = EWMA(feedback_alpha, initial=base_service_time_ms)
+        self._up = True
+        self.down_tracker = down_tracker
 
         # Counters / instrumentation.
         self.requests_received = 0
@@ -83,6 +101,8 @@ class SimServer:
         self.max_queue_length = 0
         self.cumulative_queue_samples = 0.0
         self.queue_samples = 0
+        self.crashes = 0
+        self.enqueued_while_down = 0
 
     # ------------------------------------------------------------- properties
     @property
@@ -115,26 +135,75 @@ class SimServer:
         """The server-side EWMA of observed service times (ms)."""
         return self._service_time_ewma.value
 
+    @property
+    def is_up(self) -> bool:
+        """False while the server is crashed (scenario fault injection)."""
+        return self._up
+
     # --------------------------------------------------------------- controls
-    def set_service_time_multiplier(self, multiplier: float) -> None:
+    def crash(self) -> None:
+        """Take the server down (idempotent).
+
+        A crashed server starts no new service; clients route new requests
+        around it.  Requests already being serviced run to completion (their
+        finish events are in flight), and requests already on the wire are
+        queued and resume when :meth:`restore` brings the server back — the
+        simulator has no client-side timeout machinery, so dropping them
+        would strand the run.
+        """
+        if not self._up:
+            return
+        self._up = False
+        self.crashes += 1
+        if self.down_tracker is not None:
+            self.down_tracker.count += 1
+
+    def restore(self) -> None:
+        """Bring a crashed server back and drain whatever queued while down."""
+        if self._up:
+            return
+        self._up = True
+        if self.down_tracker is not None:
+            self.down_tracker.count -= 1
+        self._try_start_service()
+
+    def set_service_time_multiplier(self, multiplier: float, source: object = None) -> None:
         """Change the server's speed (used by fluctuation / GC / compaction).
 
         A multiplier above 1 slows the server down; below 1 speeds it up.
         Only affects requests whose service starts after the change.
+
+        ``source`` keys the perturbation: independent sources (a GC-pause
+        process and a permanent slow-node process, say) each own one factor
+        and the effective multiplier is their product, so composed scenario
+        components cannot clobber each other's perturbations.  A source
+        setting ``1.0`` withdraws its factor.  ``None`` is the shared
+        default source (the historical single-writer behavior).
         """
         if multiplier <= 0:
             raise ValueError("multiplier must be positive")
-        self._service_time_multiplier = float(multiplier)
+        if multiplier == 1.0:
+            self._speed_factors.pop(source, None)
+        else:
+            self._speed_factors[source] = float(multiplier)
+        product = 1.0
+        for factor in self._speed_factors.values():
+            product *= factor
+        self._service_time_multiplier = product
 
-    def set_service_rate_multiplier(self, multiplier: float) -> None:
+    def set_service_rate_multiplier(self, multiplier: float, source: object = None) -> None:
         """Change speed expressed as a rate multiplier (rate × multiplier)."""
         if multiplier <= 0:
             raise ValueError("multiplier must be positive")
-        self._service_time_multiplier = 1.0 / float(multiplier)
+        self.set_service_time_multiplier(1.0 / float(multiplier), source)
 
     # ------------------------------------------------------------ request path
     def enqueue(self, request: Request) -> None:
         """Accept a request arriving at the server at the current sim time."""
+        if not self._up:
+            # Only reachable by requests that were already on the wire when
+            # the crash hit; they wait in queue until restore().
+            self.enqueued_while_down += 1
         self.requests_received += 1
         self.cumulative_queue_samples += self.pending_requests
         self.queue_samples += 1
@@ -143,7 +212,7 @@ class SimServer:
         self._try_start_service()
 
     def _try_start_service(self) -> None:
-        while self._in_service < self.concurrency and self._queue:
+        while self._up and self._in_service < self.concurrency and self._queue:
             request = self._queue.popleft()
             self._in_service += 1
             request.started_service_at = self.loop.now
@@ -200,4 +269,6 @@ class SimServer:
             ),
             "busy_time_ms": self.busy_time_ms,
             "current_service_time_ms": self.current_service_time_ms,
+            "up": self._up,
+            "crashes": self.crashes,
         }

@@ -22,7 +22,7 @@ from .fluctuation import BimodalFluctuation
 from .metrics import MetricsCollector, SimulationResult
 from .network import ConstantLatency, NetworkModel
 from .request import Request
-from .server import SimServer
+from .server import DownServerTracker, SimServer
 from .workload import DemandSkew, WorkloadGenerator, replica_groups
 
 __all__ = ["SimulationConfig", "ReplicaSelectionSimulation", "run_simulation"]
@@ -36,6 +36,10 @@ class SimulationConfig:
     run completes in seconds: 50 servers, RF 3, 4-way service concurrency,
     exponential service times with a 4 ms mean, 0.25 ms one-way network
     latency, 10 % read repair, bimodal service-rate fluctuation with D = 3.
+
+    A named ``scenario`` (see :mod:`repro.scenarios`) replaces the legacy
+    bimodal fluctuation fields with a composable perturbation schedule;
+    ``scenario_params`` overrides that scenario's knobs.
     """
 
     num_servers: int = 50
@@ -52,6 +56,8 @@ class SimulationConfig:
     read_repair_probability: float = 0.1
     strategy: str = "C3"
     seed: int = 0
+    scenario: str | None = None
+    scenario_params: dict = field(default_factory=dict)
     demand_skew: DemandSkew | None = None
     record_size: int = 1024
     read_fraction: float = 1.0
@@ -73,10 +79,25 @@ class SimulationConfig:
             raise ValueError("utilization must be in (0, 1.5]")
         if self.mean_service_time_ms <= 0:
             raise ValueError("mean_service_time_ms must be positive")
+        if self.scenario is not None:
+            from ..scenarios.registry import validate_scenario
+
+            validate_scenario(self.scenario, self.scenario_params)
+        elif self.scenario_params:
+            raise ValueError("scenario_params given without a scenario name")
 
     @property
     def effective_rate_multiplier(self) -> float:
-        """Average per-slot service-rate multiplier under fluctuation."""
+        """Average per-slot service-rate multiplier under the active perturbation.
+
+        With a named scenario, the scenario declares its own factor (see
+        :func:`repro.scenarios.registry.scenario_rate_factor`); otherwise the
+        legacy bimodal-fluctuation fields apply.
+        """
+        if self.scenario is not None:
+            from ..scenarios.registry import scenario_rate_factor
+
+            return scenario_rate_factor(self)
         if not self.fluctuation_enabled:
             return 1.0
         return (1.0 + self.fluctuation_multiplier) / 2.0
@@ -112,7 +133,10 @@ class ReplicaSelectionSimulation:
         self.servers: dict[Hashable, SimServer] = {}
         self.clients: list[SimClient] = []
         self.groups = replica_groups(config.num_servers, config.replication_factor)
+        self.down_tracker = DownServerTracker()
         self.fluctuation: BimodalFluctuation | None = None
+        self.scenario = None  # Scenario instance when config.scenario is set
+        self._scenario_ctx = None
         self.generator: WorkloadGenerator | None = None
         self._build()
 
@@ -128,6 +152,7 @@ class ReplicaSelectionSimulation:
                 concurrency=cfg.server_concurrency,
                 rng=server_rng,
                 on_complete=None,
+                down_tracker=self.down_tracker,
             )
             server.on_complete = self._make_completion_handler()
             self.servers[sid] = server
@@ -152,10 +177,20 @@ class ReplicaSelectionSimulation:
                 metrics=self.metrics,
                 read_repair_probability=cfg.read_repair_probability,
                 rng=client_rng,
+                down_tracker=self.down_tracker,
             )
             self.clients.append(client)
 
-        if cfg.fluctuation_enabled:
+        scenario_rng = None
+        if cfg.scenario is not None:
+            # A named scenario replaces the legacy fluctuation process
+            # entirely (its RNG stream occupies the same draw slot, so the
+            # workload stream that follows stays aligned across modes).
+            scenario_rng = np.random.default_rng(self.rng.integers(2**63))
+            from ..scenarios import build_scenario
+
+            self.scenario = build_scenario(cfg)
+        elif cfg.fluctuation_enabled:
             fluct_rng = np.random.default_rng(self.rng.integers(2**63))
             self.fluctuation = BimodalFluctuation(
                 loop=self.loop,
@@ -178,6 +213,17 @@ class ReplicaSelectionSimulation:
             rng=workload_rng,
         )
 
+        if self.scenario is not None:
+            from ..scenarios import ScenarioContext
+
+            self._scenario_ctx = ScenarioContext(
+                loop=self.loop,
+                servers=[self.servers[sid] for sid in range(cfg.num_servers)],
+                config=cfg,
+                rng=scenario_rng,
+                simulation=self,
+            )
+
     def _make_completion_handler(self):
         def on_complete(request: Request, feedback, service_time: float) -> None:
             client = self.clients[self._client_index(request.client_id)]
@@ -198,12 +244,14 @@ class ReplicaSelectionSimulation:
     def run(self) -> SimulationResult:
         """Run the scenario to completion and return the collected metrics."""
         cfg = self.config
-        if self.fluctuation is not None:
+        if self.scenario is not None:
+            self.scenario.start(self._scenario_ctx)
+        elif self.fluctuation is not None:
             self.fluctuation.start()
         assert self.generator is not None
         self.generator.start()
 
-        # The fluctuation process schedules events forever, so the loop is
+        # Perturbation processes may schedule events forever, so the loop is
         # advanced in slices until every data request has completed (or the
         # hard time cap is hit, which indicates an unstable configuration).
         slice_ms = max(10.0, cfg.fluctuation_interval_ms)
@@ -214,11 +262,17 @@ class ReplicaSelectionSimulation:
             self.loop.run(until=self.loop.now + slice_ms)
 
         duration = self.loop.now
+        if self.scenario is not None:
+            # Symmetric teardown: restores server speeds/liveness so loop or
+            # server objects can be inspected or reused after the run.
+            self.scenario.stop()
         extra = {
             "config": cfg,
             "clients": len(self.clients),
             "servers": len(self.servers),
             "backlog_remaining": sum(c.selector.pending_backlog() for c in self.clients),
+            "parked_remaining": sum(len(c._parked) for c in self.clients),
+            "scenario": cfg.scenario,
         }
         return self.metrics.result(duration_ms=duration, strategy=cfg.strategy, extra=extra)
 

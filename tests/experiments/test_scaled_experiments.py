@@ -121,3 +121,43 @@ class TestSimulatorExperimentsTiny:
             "ablation_rate_control", num_clients=15, num_servers=9, num_requests=400
         )
         assert len(result.rows) == 2
+
+
+class TestScenarioExperimentsTiny:
+    def test_gc_storm_reports_baseline_and_storm_rows(self):
+        result = run_experiment(
+            "gc_storm", strategies=("C3", "LOR"), num_servers=9, num_clients=15,
+            num_requests=500,
+        )
+        scenarios = {row[0] for row in result.rows}
+        assert scenarios == {"baseline", "gc-storm"}
+        assert len(result.rows) == 4
+        # The baseline rows anchor the inflation column at exactly 1.
+        for row in result.row_dicts():
+            if row["scenario"] == "baseline":
+                assert row["p99 vs baseline"] == pytest.approx(1.0)
+
+    def test_gc_storm_accepts_a_scenario_override(self):
+        result = run_experiment(
+            "gc_storm", scenario="slow-node", strategies=("LOR",), num_servers=9,
+            num_clients=15, num_requests=500,
+        )
+        assert {row[0] for row in result.rows} == {"baseline", "slow-node"}
+
+    def test_baseline_override_degenerates_to_a_single_scenario(self):
+        # scenario == reference must not run (and report) baseline twice.
+        result = run_experiment(
+            "gc_storm", scenario="baseline", strategies=("LOR", "RAND"), num_servers=9,
+            num_clients=15, num_requests=400,
+        )
+        assert len(result.rows) == 2
+        assert {row[0] for row in result.rows} == {"baseline"}
+
+    def test_crash_recovery_reports_throughput_retention(self):
+        result = run_experiment(
+            "crash_recovery", strategies=("C3", "LOR"), num_servers=9, num_clients=15,
+            num_requests=500,
+        )
+        assert len(result.rows) == 4
+        for row in result.row_dicts():
+            assert row["throughput (req/s)"] > 0

@@ -69,3 +69,85 @@ class TestSweepCommand:
     def test_sweep_listed_in_help(self, capsys):
         assert main([]) == 1
         assert "sweep" in capsys.readouterr().out
+
+
+#: A tiny scenario-gridded sweep: 2 strategies × 2 scenarios × 2 seeds.
+SCENARIO_SWEEP_ARGS = [
+    "sweep",
+    "--strategy", "C3",
+    "--strategy", "LOR",
+    "--utilization", "0.6",
+    "--servers", "9",
+    "--clients", "8",
+    "--requests", "150",
+    "--num-seeds", "2",
+    "--serial",
+]
+
+
+class TestSweepScenarioFlag:
+    def run_scenario_sweep(self, capsys, *extra: str) -> str:
+        assert main(SCENARIO_SWEEP_ARGS + list(extra)) == 0
+        return capsys.readouterr().out
+
+    def test_scenario_becomes_a_grid_dimension(self, capsys, tmp_path):
+        out = self.run_scenario_sweep(
+            capsys, "--scenario", "baseline", "--scenario", "gc-storm",
+            "--cache-dir", str(tmp_path / "cache"),
+        )
+        assert "2 scenario" in out and "= 8 trials" in out
+        assert "baseline" in out and "gc-storm" in out
+        assert "scenario" in out.splitlines()[1]  # table header includes the dimension
+
+    def test_unknown_scenario_is_a_clean_error(self, capsys):
+        assert main(SCENARIO_SWEEP_ARGS + ["--scenario", "gc-typo"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown scenario 'gc-typo'" in captured.err
+        assert "available scenarios:" in captured.err
+        assert "gc-storm" in captured.err
+
+    def test_changing_only_the_scenario_invalidates_the_cache(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        first = self.run_scenario_sweep(
+            capsys, "--scenario", "baseline", "--cache-dir", cache
+        )
+        assert "4 executed, 0 from cache" in first
+        rerun = self.run_scenario_sweep(
+            capsys, "--scenario", "baseline", "--cache-dir", cache
+        )
+        assert "0 executed, 4 from cache" in rerun
+        changed = self.run_scenario_sweep(
+            capsys, "--scenario", "gc-storm", "--cache-dir", cache
+        )
+        assert "4 executed, 0 from cache" in changed
+
+    def test_simulate_accepts_scenario_and_params(self, capsys):
+        assert main([
+            "simulate", "--scenario", "gc-storm", "--scenario-param", "slowdown_factor=8",
+            "--servers", "9", "--clients", "8", "--requests", "100", "--seed", "1",
+        ]) == 0
+        assert "C3" in capsys.readouterr().out
+
+    def test_simulate_rejects_unknown_scenario(self, capsys):
+        assert main(["simulate", "--scenario", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_simulate_rejects_params_without_scenario(self, capsys):
+        assert main(["simulate", "--scenario-param", "x=1"]) == 2
+        assert "requires --scenario" in capsys.readouterr().err
+
+    def test_simulate_rejects_unknown_knob_cleanly(self, capsys):
+        assert main(["simulate", "--scenario", "gc-storm", "--scenario-param", "nope=1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario_params" in err and "nope" in err
+
+    def test_simulate_rejects_malformed_param_cleanly(self, capsys):
+        assert main(["simulate", "--scenario", "gc-storm", "--scenario-param", "bad"]) == 2
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_scenarios_subcommand_lists_builtins(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in ("baseline", "bimodal", "gc-storm", "crash-recovery", "slow-node"):
+            assert name in out
+        assert "knobs" in out

@@ -1,0 +1,159 @@
+"""Golden-digest regression suite for the scenario engine.
+
+Every builtin scenario × {C3, LOR, RAND} is pinned to the sha256 digest of
+its full measurement (:meth:`SimulationResult.digest`), plus a set of
+legacy-path pins captured *before* ``fluctuation.py`` was re-expressed on
+the scenario primitives.  A failure here means a change silently altered
+simulation semantics (event ordering, RNG stream layout, routing, metric
+accounting) — if the change is intentional, update the pinned digest in the
+same commit and say why in the commit message; if it isn't, the diff that
+broke it is the bug.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulator import SimulationConfig, run_simulation
+
+# ---------------------------------------------------------------------------
+# Legacy (scenario=None) pins, captured on the pre-refactor fluctuation.py:
+# the bimodal fluctuation re-expressed on scenario primitives must stay
+# byte-identical to the bespoke implementation it replaced.
+# ---------------------------------------------------------------------------
+
+LEGACY_CONFIGS = {
+    "default_fluct_C3": dict(
+        num_servers=9, num_clients=10, num_requests=300, utilization=0.6, strategy="C3", seed=7
+    ),
+    "default_fluct_LOR": dict(
+        num_servers=9, num_clients=10, num_requests=300, utilization=0.6, strategy="LOR", seed=7
+    ),
+    "default_fluct_RAND": dict(
+        num_servers=9, num_clients=10, num_requests=300, utilization=0.6, strategy="RAND", seed=7
+    ),
+    "no_fluct_C3": dict(
+        num_servers=9, num_clients=10, num_requests=300, utilization=0.6, strategy="C3",
+        seed=3, fluctuation_enabled=False,
+    ),
+    "interval50_LOR": dict(
+        num_servers=9, num_clients=10, num_requests=250, utilization=0.7, strategy="LOR",
+        seed=11, fluctuation_interval_ms=50.0,
+    ),
+}
+
+LEGACY_DIGESTS = {
+    "default_fluct_C3": "a03c7b058764ee2003b3a0a7ca06a310b3c485b8c096730bf22f94b203c3419a",
+    "default_fluct_LOR": "cee45352f0514119e99597022c2bd6b831bf51bb4e293b97fa7760db8f8b0490",
+    "default_fluct_RAND": "c4966994e4e55eaaf7d01fd1c17c2c5877d86e1b0fb515fa789b00b7e1c73c23",
+    "no_fluct_C3": "5a0a1256db9acc7b9cfea8a348b3de1501ac448ff5f0081013c1c867425272ac",
+    "interval50_LOR": "47a171c505d9dfe1f015ce980eb2d1da8ee578c039556a5e9fd434736a1dcb91",
+}
+
+# ---------------------------------------------------------------------------
+# Builtin scenario pins.  Event times are pulled forward via scenario_params
+# where the registry defaults would land beyond these short runs' horizon, so
+# every pinned digest actually exercises its perturbation.
+# ---------------------------------------------------------------------------
+
+SCENARIO_PARAMS = {
+    "baseline": {},
+    "bimodal": {},
+    "gc-storm": {"mean_interarrival_ms": 40.0, "mean_duration_ms": 15.0},
+    "crash-recovery": {"first_at_ms": 20.0, "down_ms": 30.0, "stagger_ms": 25.0},
+    "slow-node": {},
+    "network-jitter": {"at_ms": 15.0},
+    "load-spike": {"start_ms": 15.0, "end_ms": 60.0, "factor": 2.0},
+    "heterogeneous": {},
+}
+
+STRATEGIES = ("C3", "LOR", "RAND")
+
+SCENARIO_DIGESTS = {
+    ("baseline", "C3"): "e7e5feca53d84d9f2e79cec07073f72e9f9641f4580626de5b1738c622cf23f8",
+    ("baseline", "LOR"): "1e0d2212f74ed41023770efbcb2d99f8895d83e8388123e360c360e6384bc67b",
+    ("baseline", "RAND"): "dd2264d82486ffe2fed49420caa1873be0acd8ae2840e020bafab9269a0af761",
+    ("bimodal", "C3"): "3a13f5b551a81878f68f932d7ee265ee8625cc1fe6d3b27951fb3804ced2eb2d",
+    ("bimodal", "LOR"): "3fb71491fdb365d3ba929f675facbffedfa34f8f0c5878b0038f92fe7b2b47a2",
+    ("bimodal", "RAND"): "b3b29cadc3cf70477313ba22457520bdbd8eaa7ee7228609a4d1e40a6b1caa63",
+    ("gc-storm", "C3"): "12b35edf8bc70f43814d736fa7777aeb624b92751b73e4214545ee44e30eb35e",
+    ("gc-storm", "LOR"): "504af65c02cac0d9db6aa15c99a7ee427021f99bd54b36ff9ba0908412e10c62",
+    ("gc-storm", "RAND"): "170993c85cad06c64f975fabbba36cca4052864d39cc5e755188cbf9de307cfb",
+    ("crash-recovery", "C3"): "3e0867fd45a80600f263d02c38194dbe9c49ba6df82bbb10cbbcc813f19ec84e",
+    ("crash-recovery", "LOR"): "3441f1529741887ad6bed6c3445d0556b9a9ee6cc22f9af704d155b6528d9929",
+    ("crash-recovery", "RAND"): "ef3f7666eb4995f244159df372edc2c98f14e5289a2b928c2bbb5cdbca6d6761",
+    ("slow-node", "C3"): "5af351c385af6c1611ae27eb954dfd91f7a9d7628ec9b99ce3357c54f737e187",
+    ("slow-node", "LOR"): "3ba1132d53ee3fe4271409e692cd5cd17b806aa955096826529e33e79445754e",
+    ("slow-node", "RAND"): "d318ddf89256005ee5e8d3b63fb3782018472a42c8954f3f4e2c45bae34570d0",
+    ("network-jitter", "C3"): "d07193267ddbd3ed78db0e84b5b01489d8ec9bf6e2bc3fe8ba3b7f98e763fdd1",
+    ("network-jitter", "LOR"): "369a18e0786bcbab6c856bcff50e2831c652b969bde576bb9cca76666d055ebd",
+    ("network-jitter", "RAND"): "14bfe351e6a6c710f4bdd475cf799e578094be69181c6f1577eb2aed2ab56881",
+    ("load-spike", "C3"): "496e6b458381de74ecc45c1694f34f880878152b38b01572d2cc60f78e096709",
+    ("load-spike", "LOR"): "5df029730a6f712abe3fb6e1a5856a7b368dba51b7b5dd3ba6b29a240432241b",
+    ("load-spike", "RAND"): "a2a749b73ed347b93eec84109acbcb4443bc98afde58aadefa172a27a092fbe3",
+    ("heterogeneous", "C3"): "892766b0b4b76439df3918d1c610dcc1776ef43b1b98daa94d8182d44bb6df9b",
+    ("heterogeneous", "LOR"): "9b486d5d954e983fa4f979e861ae2daf552c8bea37b4dd716201739b4765b436",
+    ("heterogeneous", "RAND"): "aafa68f04fb1cd69a956ee34b2002dc46b07f2b6b92f79aa0c4816676d193b1b",
+}
+
+
+def scenario_config(scenario: str, strategy: str) -> SimulationConfig:
+    return SimulationConfig(
+        num_servers=9,
+        num_clients=10,
+        num_requests=400,
+        utilization=0.6,
+        strategy=strategy,
+        seed=5,
+        scenario=scenario,
+        scenario_params=SCENARIO_PARAMS[scenario],
+    )
+
+
+class TestLegacyPathGolden:
+    @pytest.mark.parametrize("name", sorted(LEGACY_CONFIGS))
+    def test_legacy_digest_unchanged(self, name):
+        result = run_simulation(SimulationConfig(**LEGACY_CONFIGS[name]))
+        assert result.digest() == LEGACY_DIGESTS[name], (
+            f"legacy run {name!r} no longer matches its pre-refactor digest: "
+            "the scenario-engine refactor (or a later change) altered "
+            "simulation semantics on the scenario=None path"
+        )
+
+
+class TestScenarioGolden:
+    def test_every_builtin_scenario_is_pinned(self):
+        from repro.scenarios import scenario_names
+
+        pinned = {scenario for scenario, _ in SCENARIO_DIGESTS}
+        assert pinned == set(scenario_names()), (
+            "builtin scenario set changed: add/remove golden pins for the difference"
+        )
+
+    @pytest.mark.parametrize(
+        "scenario,strategy", sorted(SCENARIO_DIGESTS), ids=lambda v: str(v)
+    )
+    def test_scenario_digest_pinned(self, scenario, strategy):
+        result = run_simulation(scenario_config(scenario, strategy))
+        assert result.completed_requests == 400
+        assert result.digest() == SCENARIO_DIGESTS[(scenario, strategy)], (
+            f"scenario {scenario!r} × {strategy} digest drifted — a refactor changed "
+            "simulation semantics; update the pin only for an intentional change"
+        )
+
+    def test_scenarios_actually_perturb(self):
+        # Sanity on the pins themselves: every perturbing scenario must
+        # differ from baseline for the same strategy (otherwise the pinned
+        # run never exercised its events).
+        for strategy in STRATEGIES:
+            baseline = SCENARIO_DIGESTS[("baseline", strategy)]
+            for scenario in SCENARIO_PARAMS:
+                if scenario == "baseline":
+                    continue
+                assert SCENARIO_DIGESTS[(scenario, strategy)] != baseline, (
+                    f"{scenario} × {strategy} pinned digest equals baseline"
+                )
+
+    def test_digest_stable_across_consecutive_runs(self):
+        config = scenario_config("crash-recovery", "C3")
+        assert run_simulation(config).digest() == run_simulation(config).digest()

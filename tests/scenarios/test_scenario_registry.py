@@ -1,0 +1,181 @@
+"""Unit tests for the scenario registry and the declarative layer."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import (
+    Scenario,
+    ScenarioContext,
+    ScenarioDefinition,
+    build_scenario,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+    scenario_rate_factor,
+    validate_scenario,
+)
+from repro.scenarios.registry import _REGISTRY
+from repro.simulator import SimulationConfig
+from repro.simulator.engine import EventLoop
+from repro.simulator.server import SimServer
+
+
+def make_context(num_servers=5, config=None):
+    loop = EventLoop()
+    servers = [
+        SimServer(loop, server_id=i, deterministic=True, rng=np.random.default_rng(i))
+        for i in range(num_servers)
+    ]
+    config = config or SimulationConfig(num_servers=num_servers, num_clients=4, num_requests=0)
+    return ScenarioContext(loop, servers, config, np.random.default_rng(0))
+
+
+class TestRegistry:
+    def test_builtin_names(self):
+        names = scenario_names()
+        assert {
+            "baseline", "bimodal", "gc-storm", "crash-recovery",
+            "slow-node", "network-jitter", "load-spike", "heterogeneous",
+        } <= set(names)
+        assert list(names) == sorted(names)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="available scenarios: .*gc-storm"):
+            get_scenario("gc-typo")
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario_params \\['nope'\\]"):
+            validate_scenario("gc-storm", {"nope": 1})
+
+    def test_knob_override_reaches_the_component(self):
+        config = SimulationConfig(
+            num_servers=5, num_clients=4, num_requests=0,
+            scenario="gc-storm", scenario_params={"slowdown_factor": 9.0},
+        )
+        scenario = build_scenario(config)
+        assert scenario.components[0].slowdown_factor == 9.0
+
+    def test_duplicate_registration_rejected(self):
+        definition = get_scenario("baseline")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(definition)
+
+    def test_custom_registration_roundtrip(self):
+        definition = ScenarioDefinition(
+            name="test-custom",
+            description="test",
+            factory=lambda config, params: (),
+            knobs={"x": 1},
+        )
+        register_scenario(definition)
+        try:
+            assert get_scenario("test-custom") is definition
+            config = SimulationConfig(
+                num_servers=5, num_clients=4, num_requests=0, scenario="test-custom"
+            )
+            assert build_scenario(config).name == "test-custom"
+        finally:
+            del _REGISTRY["test-custom"]
+
+
+class TestRateFactors:
+    def test_bimodal_tracks_config_fields(self):
+        config = SimulationConfig(
+            num_servers=5, num_clients=4, num_requests=0,
+            fluctuation_multiplier=3.0, scenario="bimodal",
+        )
+        assert scenario_rate_factor(config) == pytest.approx(2.0)
+        # ...and matches the legacy fluctuation sizing, so swapping
+        # scenario="bimodal" for the legacy fields keeps the arrival rate.
+        legacy = config.copy(scenario=None, fluctuation_enabled=True)
+        assert config.effective_rate_multiplier == pytest.approx(legacy.effective_rate_multiplier)
+
+    def test_bimodal_knob_override(self):
+        config = SimulationConfig(
+            num_servers=5, num_clients=4, num_requests=0,
+            scenario="bimodal", scenario_params={"rate_multiplier": 5.0, "fast_probability": 0.2},
+        )
+        assert scenario_rate_factor(config) == pytest.approx(0.8 + 0.2 * 5.0)
+
+    def test_non_fluctuating_scenarios_do_not_inflate_capacity(self):
+        for name in ("baseline", "gc-storm", "crash-recovery", "slow-node"):
+            config = SimulationConfig(
+                num_servers=5, num_clients=4, num_requests=0, scenario=name
+            )
+            assert config.effective_rate_multiplier == 1.0
+
+
+class TestConfigValidation:
+    def test_scenario_params_without_scenario_rejected(self):
+        with pytest.raises(ValueError, match="without a scenario"):
+            SimulationConfig(
+                num_servers=5, num_clients=4, num_requests=0, scenario_params={"x": 1}
+            )
+
+    def test_unknown_scenario_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            SimulationConfig(num_servers=5, num_clients=4, num_requests=0, scenario="nope")
+
+
+class TestTargetResolution:
+    def test_all_and_none(self):
+        ctx = make_context()
+        assert len(ctx.resolve_targets("all")) == 5
+        assert len(ctx.resolve_targets(None)) == 5
+
+    def test_index_fraction_and_list(self):
+        ctx = make_context()
+        assert [s.server_id for s in ctx.resolve_targets(2)] == [2]
+        assert [s.server_id for s in ctx.resolve_targets(-1)] == [4]
+        assert [s.server_id for s in ctx.resolve_targets(0.4)] == [0, 1]
+        assert [s.server_id for s in ctx.resolve_targets([1, 3])] == [1, 3]
+
+    def test_invalid_specs_rejected(self):
+        ctx = make_context()
+        with pytest.raises(ValueError):
+            ctx.resolve_targets(1.5)
+        with pytest.raises(ValueError):
+            ctx.resolve_targets(True)
+
+
+class TestScenarioLifecycle:
+    def test_components_start_in_order_and_stop_in_reverse(self):
+        calls = []
+
+        class Probe:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def start(self, ctx):
+                calls.append(("start", self.tag))
+
+            def stop(self):
+                calls.append(("stop", self.tag))
+
+        scenario = Scenario(name="probe", components=(Probe("a"), Probe("b")))
+        scenario.start(make_context())
+        scenario.stop()
+        assert calls == [("start", "a"), ("start", "b"), ("stop", "b"), ("stop", "a")]
+
+    def test_stop_only_touches_started_components(self):
+        calls = []
+
+        class Probe:
+            def start(self, ctx):
+                calls.append("start")
+
+            def stop(self):
+                calls.append("stop")
+
+        class Boom:
+            def start(self, ctx):
+                raise RuntimeError("nope")
+
+            def stop(self):  # pragma: no cover - must not run
+                calls.append("boom-stop")
+
+        scenario = Scenario(name="probe", components=(Probe(), Boom()))
+        with pytest.raises(RuntimeError):
+            scenario.start(make_context())
+        scenario.stop()
+        assert calls == ["start", "stop"]

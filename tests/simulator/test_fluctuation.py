@@ -79,6 +79,81 @@ class TestLatencyInflation:
             LatencyInflation(loop, server, episodes=[(1.0, 2.0, 0.0)])
 
 
+class TestHorizonEdgeAndLoopReuse:
+    """Regression: a perturbation firing exactly at the run horizon used to
+    leave servers' rate factors perturbed with no way to reset them, so an
+    ``EventLoop`` reused via ``clear()`` ran its next scenario against
+    degraded servers.  ``stop()`` is the fix: it cancels pending events and
+    restores nominal speed."""
+
+    def test_flip_at_horizon_then_stop_restores_nominal_rate(self):
+        loop = EventLoop()
+        servers = make_servers(loop, count=4)
+        # seed 5: the flip at t=100 leaves at least one server in fast mode.
+        fluct = BimodalFluctuation(loop, servers, interval_ms=100.0, rng=np.random.default_rng(5))
+        fluct.start()
+        loop.run(until=100.0)  # run() fires events scheduled exactly at the horizon
+        assert any(s.current_service_time_ms != pytest.approx(4.0) for s in servers)
+        loop.clear()
+        fluct.stop()
+        assert all(s.current_service_time_ms == pytest.approx(4.0) for s in servers)
+        # The reused loop runs no stale flips: nothing changes speeds again.
+        loop.run(until=500.0)
+        assert all(s.current_service_time_ms == pytest.approx(4.0) for s in servers)
+
+    def test_stopped_fluctuation_schedules_no_further_events(self):
+        loop = EventLoop()
+        servers = make_servers(loop, count=2)
+        fluct = BimodalFluctuation(loop, servers, interval_ms=10.0, rng=np.random.default_rng(0))
+        fluct.start()
+        loop.run(until=25.0)
+        fluct.stop()
+        flips = fluct.flips
+        loop.run(until=200.0)
+        assert fluct.flips == flips
+        assert loop.live_pending_events == 0
+
+    def test_inflation_episode_straddling_horizon_is_reset_by_stop(self):
+        loop = EventLoop()
+        server = make_servers(loop, count=1)[0]
+        # The episode's end lies beyond the horizon: pre-fix the server kept
+        # its 5x multiplier forever after clear().
+        inflation = LatencyInflation(loop, server, episodes=[(50.0, 150.0, 5.0)])
+        inflation.start()
+        loop.run(until=100.0)
+        assert server.current_service_time_ms == pytest.approx(20.0)
+        loop.clear()
+        inflation.stop()
+        assert server.current_service_time_ms == pytest.approx(4.0)
+        assert inflation.active_episodes == 0
+
+    def test_transient_slowdown_straddling_horizon_is_reset_by_stop(self):
+        loop = EventLoop()
+        servers = make_servers(loop, count=2)
+        slowdowns = TransientSlowdowns(
+            loop, servers, mean_interarrival_ms=5.0, mean_duration_ms=1000.0,
+            slowdown_factor=4.0, rng=np.random.default_rng(1),
+        )
+        slowdowns.start()
+        loop.run(until=50.0)
+        assert any(s.current_service_time_ms == pytest.approx(16.0) for s in servers)
+        loop.clear()
+        slowdowns.stop()
+        assert all(s.current_service_time_ms == pytest.approx(4.0) for s in servers)
+        loop.run(until=500.0)
+        assert all(s.current_service_time_ms == pytest.approx(4.0) for s in servers)
+
+    def test_permanent_episode_supported(self):
+        loop = EventLoop()
+        server = make_servers(loop, count=1)[0]
+        inflation = LatencyInflation(loop, server, episodes=[(10.0, None, 3.0)])
+        inflation.start()
+        loop.run(until=20.0)
+        assert server.current_service_time_ms == pytest.approx(12.0)
+        inflation.stop()
+        assert server.current_service_time_ms == pytest.approx(4.0)
+
+
 class TestTransientSlowdowns:
     def test_slowdowns_occur_and_recover(self):
         loop = EventLoop()
