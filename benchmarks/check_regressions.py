@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python benchmarks/check_regressions.py BASELINE.json CURRENT.json \
+        [--tolerance 0.30]
+
+Fails (exit 1) when any benchmark present in both files is slower than
+``baseline * (1 + tolerance)`` on its mean time, or when a baseline
+benchmark is missing from the current run — deleting a benchmark in the
+same PR that slowed it down must not turn the gate green; regenerate the
+baseline (from the CI run's ``BENCH_ci.json`` artifact, so it reflects
+the runner class that gates future runs) in the same commit instead.
+Benchmarks new in the current run are reported but never fail.  The
+tolerance is deliberately generous (30 % by default): CI runners and
+developer machines differ, and this gate exists to catch step-change
+regressions, not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_benchmarks(path: Path) -> dict[str, float]:
+    """``{benchmark fullname: mean seconds}`` from a benchmark JSON file."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    means: dict[str, float] = {}
+    for bench in payload.get("benchmarks", []):
+        name = bench.get("fullname") or bench["name"]
+        means[name] = float(bench["stats"]["mean"])
+    return means
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path, help="committed baseline benchmark JSON")
+    parser.add_argument("current", type=Path, help="benchmark JSON from this run")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed slowdown as a fraction of baseline (default: 0.30 = 30%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.05,
+        help="skip benchmarks whose baseline mean is below this (sub-50ms "
+        "wall-clock gates measure noise, not regressions)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+    if not baseline:
+        print(f"error: no benchmarks in baseline {args.baseline}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"error: no benchmarks in current run {args.current}", file=sys.stderr)
+        return 2
+
+    regressions: list[str] = []
+    missing: list[str] = []
+    checked = 0
+    for name in sorted(baseline):
+        base_mean = baseline[name]
+        if name not in current:
+            print(f"{'MISSING':>10}  {'':>7}  {base_mean:9.4f}s baseline has no current run  {name}")
+            missing.append(name)
+            continue
+        if base_mean < args.min_seconds:
+            print(f"{'skipped':>10}  {'':>7}  {base_mean:9.4f}s baseline below floor  {name}")
+            continue
+        mean = current[name]
+        checked += 1
+        ratio = mean / base_mean if base_mean > 0 else float("inf")
+        status = "ok"
+        if mean > base_mean * (1.0 + args.tolerance):
+            status = "REGRESSED"
+            regressions.append(f"{name}: {base_mean:.4f}s -> {mean:.4f}s ({ratio:.2f}x)")
+        print(f"{status:>10}  {ratio:5.2f}x  {base_mean:9.4f}s -> {mean:9.4f}s  {name}")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{'new':>10}  {'':>7}  {current[name]:9.4f}s  {name} (not in baseline)")
+
+    failed = False
+    if missing:
+        print(
+            f"\n{len(missing)} baseline benchmark(s) missing from the current run "
+            "(deleted or renamed?); update benchmarks/BENCH_baseline.json in the "
+            "same commit:",
+            file=sys.stderr,
+        )
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
+        failed = True
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed by more than "
+            f"{args.tolerance:.0%} vs {args.baseline}:",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        failed = True
+    if failed:
+        return 1
+    print(f"\nno benchmark regressed by more than {args.tolerance:.0%} ({checked} checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Benchmark: scale-mode (streaming) metrics at a million completions.
+
+Drives the streaming collector through one million request completions —
+the scenario the scale-mode subsystem exists for — and records wall time,
+histogram footprint, and the deterministic digest.  A second benchmark
+pins the vectorized ``WindowedCounter`` dense-series materialization that
+``SimulationResult`` building depends on at large horizons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator import SimulationConfig, WindowedCounter, run_simulation
+from repro.simulator.metrics import MetricsCollector
+from repro.simulator.request import Request
+
+N_COMPLETIONS = 1_000_000
+
+
+def _drive_collector() -> MetricsCollector:
+    collector = MetricsCollector(metrics_mode="streaming")
+    rng = np.random.default_rng(1)
+    latencies = rng.exponential(scale=8.0, size=N_COMPLETIONS) + 0.25
+    request = Request(request_id=0, client_id=0, replica_group=(0,), created_at=0.0, server_id=0)
+    for i, latency in enumerate(latencies.tolist()):
+        request.completed_at = latency
+        collector.on_complete(request, now=float(i % 1000))
+    return collector
+
+
+def test_bench_streaming_collector_million_completions(benchmark):
+    collector = benchmark.pedantic(_drive_collector, rounds=1, iterations=1)
+    assert collector.completed_requests == N_COMPLETIONS
+    assert collector._latencies is None  # fixed memory: no per-request list
+    histogram = collector.result(duration_ms=1_000.0).latency_histogram
+    assert histogram is not None and histogram.count == N_COMPLETIONS
+    benchmark.extra_info["completions"] = N_COMPLETIONS
+    benchmark.extra_info["buckets"] = histogram.bucket_count
+    benchmark.extra_info["p999_ms"] = round(histogram.quantile(0.999), 3)
+    print(
+        f"\n{N_COMPLETIONS} completions -> {histogram.bucket_count} buckets, "
+        f"p99.9 = {histogram.quantile(0.999):.2f} ms"
+    )
+
+
+def test_bench_streaming_vs_exact_simulation(benchmark):
+    """One real (small) simulation in each mode: streaming must not slow the run."""
+    config = SimulationConfig(
+        num_servers=9, num_clients=12, num_requests=3_000, utilization=0.6, seed=0
+    )
+    exact = run_simulation(config)
+    streaming = benchmark.pedantic(
+        lambda: run_simulation(config.copy(metrics_mode="streaming")), rounds=1, iterations=1
+    )
+    assert streaming.completed_requests == exact.completed_requests
+    benchmark.extra_info["completed"] = streaming.completed_requests
+    benchmark.extra_info["buckets"] = streaming.latency_histogram.bucket_count
+
+
+def test_bench_windowed_counter_materialization(benchmark):
+    """Dense-series scatter over a long, sparse horizon (the digest hot path)."""
+    counter = WindowedCounter(window_ms=100.0)
+    rng = np.random.default_rng(3)
+    # 50k events scattered over a 10-minute horizon: 6000 windows, sparse.
+    for t in rng.uniform(0.0, 600_000.0, size=50_000).tolist():
+        counter.record(t)
+
+    def materialize():
+        return counter.counts(horizon_ms=600_000.0)
+
+    dense = benchmark.pedantic(materialize, rounds=3, iterations=5)
+    assert int(dense.sum()) == 50_000
+    benchmark.extra_info["windows"] = int(dense.size)

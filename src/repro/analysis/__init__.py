@@ -1,22 +1,32 @@
 """Analysis helpers: percentiles, ECDFs, time series and oscillation metrics."""
 
-from .aggregate import ConfidenceInterval, aggregate_metric_samples, mean_ci
+from .aggregate import (
+    ConfidenceInterval,
+    aggregate_metric_samples,
+    mean_ci,
+    pooled_histogram_summary,
+)
 from .ecdf import ECDF, ecdf
+from .histogram import LatencyHistogram, merge_histograms, quantile_within_bound
 from .oscillation import LoadConditioningReport, burstiness, load_conditioning, oscillation_score
-from .percentiles import LatencySummary, percentile, summarize, tail_to_median_ratio
+from .percentiles import EMPTY_SUMMARY, LatencySummary, percentile, summarize, tail_to_median_ratio
 from .report import format_comparison, format_summary_rows, format_table, indent
 from .timeseries import downsample, moving_average, moving_median, window_counts
 
 __all__ = [
     "ConfidenceInterval",
     "ECDF",
+    "EMPTY_SUMMARY",
+    "LatencyHistogram",
     "LatencySummary",
     "LoadConditioningReport",
     "aggregate_metric_samples",
     "burstiness",
     "mean_ci",
+    "merge_histograms",
     "downsample",
     "ecdf",
+    "quantile_within_bound",
     "format_comparison",
     "format_summary_rows",
     "format_table",
@@ -26,6 +36,7 @@ __all__ = [
     "moving_median",
     "oscillation_score",
     "percentile",
+    "pooled_histogram_summary",
     "summarize",
     "tail_to_median_ratio",
     "window_counts",

@@ -5,6 +5,12 @@ reduces such replicate sets to ``mean ± halfwidth`` summaries.  Intervals use
 the Student-t critical value for small replicate counts (the common case —
 the paper itself uses 5 repetitions) and fall back to the normal quantile
 for large ones.
+
+Streaming-mode trials additionally carry serialized latency histograms;
+:func:`pooled_histogram_summary` reduces a replicate set of those by
+bucket-wise merge — the pooled percentiles are computed over the union of
+all replicates' samples (at histogram resolution) without ever
+concatenating raw latency arrays.
 """
 
 from __future__ import annotations
@@ -14,7 +20,14 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["ConfidenceInterval", "mean_ci", "aggregate_metric_samples"]
+from .histogram import LatencyHistogram, merge_histograms
+
+__all__ = [
+    "ConfidenceInterval",
+    "aggregate_metric_samples",
+    "mean_ci",
+    "pooled_histogram_summary",
+]
 
 # Two-sided Student-t critical values t_{df, 1-(1-confidence)/2} for the
 # confidence levels the CLI exposes, df = 1..30.  Beyond 30 degrees of
@@ -109,3 +122,17 @@ def aggregate_metric_samples(
 ) -> dict[str, ConfidenceInterval]:
     """``mean_ci`` applied to every metric of a replicate set."""
     return {name: mean_ci(values, confidence) for name, values in samples_by_metric.items()}
+
+
+def pooled_histogram_summary(histogram_payloads: Iterable[dict]) -> dict | None:
+    """Merge serialized histograms bucket-wise and summarize the pool.
+
+    ``histogram_payloads`` are :meth:`LatencyHistogram.to_dict` dicts (one
+    per replicate).  Returns the pooled :class:`LatencySummary` as a plain
+    dict, or ``None`` when the iterable is empty.  Merge order cannot
+    affect the outcome (bucket addition is associative and commutative).
+    """
+    merged = merge_histograms(LatencyHistogram.from_dict(p) for p in histogram_payloads)
+    if merged is None:
+        return None
+    return merged.summarize().as_dict()

@@ -1,0 +1,324 @@
+"""Log-bucketed streaming latency histogram for scale-mode metrics.
+
+:class:`LatencyHistogram` is a DDSketch/HdrHistogram-style quantile sketch:
+values land in geometrically spaced buckets with growth factor
+``gamma = (1 + e) / (1 - e)`` where ``e`` is the configured relative error,
+so any reported quantile is within ``e`` (relative) of a sample whose rank
+differs by less than one from the requested rank.  Memory is O(buckets) —
+independent of how many values are recorded — and bucket occupancy grows
+only with the *dynamic range* of the data: tracking 1 µs .. 10 s at 1 %
+error needs under a thousand buckets.
+
+Design choices that matter to the rest of the system:
+
+* **Bucket state is the whole state.**  Mean and standard deviation are
+  derived from bucket midpoints rather than exact running sums, so two
+  histograms with identical bucket counts are *identical* — merging is
+  exactly associative and commutative, and :meth:`digest` is a faithful
+  content hash.  (Exact-mode metrics keep exact means; streaming mode
+  trades ≤ ``relative_error`` on every statistic for fixed memory.)
+* **Merge is bucket-wise addition** (:meth:`merge`), which is what the
+  sweep runner uses to pool replicate histograms across seeds without ever
+  concatenating raw latency arrays.
+* **Exact min/max are tracked** and quantile estimates are clamped into
+  ``[min, max]``, so degenerate cases (one sample, constant samples) report
+  exact values.
+* Values at or below ``min_trackable_ms`` collapse into a dedicated
+  zero-bucket estimated at 0.0 — an absolute error of at most
+  ``min_trackable_ms`` (1 µs by default), far below any latency the
+  simulator produces.
+
+The error contract, precisely: for a sample set ``S`` and quantile ``q``,
+``quantile(q)`` is within ``relative_error`` of at least one of the two
+order statistics bracketing rank ``q * (len(S) - 1)`` (the same rank
+convention numpy's linear-interpolation percentile uses).
+:func:`quantile_within_bound` checks exactly that contract and is shared by
+the property-test suite and the CLI's ``scale --compare-exact`` smoke.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .percentiles import EMPTY_SUMMARY, LatencySummary
+
+__all__ = ["LatencyHistogram", "merge_histograms", "quantile_within_bound"]
+
+
+class LatencyHistogram:
+    """A fixed-memory quantile sketch over non-negative latencies (ms)."""
+
+    __slots__ = (
+        "relative_error",
+        "min_trackable_ms",
+        "_gamma",
+        "_log_gamma",
+        "_counts",
+        "_zero_count",
+        "_count",
+        "_min",
+        "_max",
+    )
+
+    def __init__(self, relative_error: float = 0.01, min_trackable_ms: float = 1e-3) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ValueError(f"relative_error must be in (0, 1), got {relative_error}")
+        if min_trackable_ms <= 0.0:
+            raise ValueError(f"min_trackable_ms must be positive, got {min_trackable_ms}")
+        self.relative_error = float(relative_error)
+        self.min_trackable_ms = float(min_trackable_ms)
+        self._gamma = (1.0 + self.relative_error) / (1.0 - self.relative_error)
+        self._log_gamma = math.log(self._gamma)
+        self._counts: dict[int, int] = {}
+        self._zero_count = 0
+        self._count = 0
+        self._min = math.inf
+        self._max = -math.inf
+
+    # ------------------------------------------------------------- recording
+    def record(self, value_ms: float, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``value_ms``."""
+        if value_ms < 0.0 or math.isnan(value_ms) or math.isinf(value_ms):
+            raise ValueError(f"latency must be finite and non-negative, got {value_ms}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self._count += count
+        if value_ms < self._min:
+            self._min = value_ms
+        if value_ms > self._max:
+            self._max = value_ms
+        if value_ms <= self.min_trackable_ms:
+            self._zero_count += count
+            return
+        index = math.ceil(math.log(value_ms / self.min_trackable_ms) / self._log_gamma)
+        self._counts[index] = self._counts.get(index, 0) + count
+
+    def record_many(self, values_ms: Iterable[float] | np.ndarray) -> None:
+        """Vectorized :meth:`record` over an array of latencies."""
+        arr = np.asarray(values_ms, dtype=float)
+        if arr.size == 0:
+            return
+        if not np.all(np.isfinite(arr)) or bool(np.any(arr < 0.0)):
+            raise ValueError("latencies must be finite and non-negative")
+        self._count += int(arr.size)
+        self._min = min(self._min, float(arr.min()))
+        self._max = max(self._max, float(arr.max()))
+        tracked = arr[arr > self.min_trackable_ms]
+        self._zero_count += int(arr.size - tracked.size)
+        if tracked.size:
+            indices = np.ceil(np.log(tracked / self.min_trackable_ms) / self._log_gamma)
+            unique, counts = np.unique(indices.astype(np.int64), return_counts=True)
+            for index, count in zip(unique.tolist(), counts.tolist()):
+                self._counts[index] = self._counts.get(index, 0) + count
+
+    # -------------------------------------------------------------- queries
+    @property
+    def count(self) -> int:
+        """Total values recorded."""
+        return self._count
+
+    @property
+    def bucket_count(self) -> int:
+        """Occupied buckets (the memory footprint), zero-bucket included."""
+        return len(self._counts) + (1 if self._zero_count else 0)
+
+    @property
+    def min(self) -> float:
+        """Exact minimum recorded value (0.0 when empty)."""
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Exact maximum recorded value (0.0 when empty)."""
+        return self._max if self._count else 0.0
+
+    def _estimate(self, index: int) -> float:
+        """Midpoint estimate of bucket ``index`` (relative error ≤ e)."""
+        return self.min_trackable_ms * 2.0 * self._gamma**index / (self._gamma + 1.0)
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self._min), self._max)
+
+    def quantile(self, q: float) -> float:
+        """Estimate of the ``q``-quantile (``q`` in [0, 1]); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = q * (self._count - 1)
+        cumulative = self._zero_count
+        if rank < cumulative:
+            return self._clamp(0.0)
+        for index in sorted(self._counts):
+            cumulative += self._counts[index]
+            if rank < cumulative:
+                return self._clamp(self._estimate(index))
+        return self._max
+
+    def percentile(self, p: float) -> float:
+        """Estimate of the ``p``-th percentile (``p`` in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        return self.quantile(p / 100.0)
+
+    def _moments(self) -> tuple[float, float]:
+        """(mean, std) derived from bucket midpoints (zero-bucket → 0.0)."""
+        if self._count == 0:
+            return 0.0, 0.0
+        total = 0.0
+        total_sq = 0.0
+        for index, count in self._counts.items():
+            estimate = self._estimate(index)
+            total += estimate * count
+            total_sq += estimate * estimate * count
+        mean = total / self._count
+        variance = max(0.0, total_sq / self._count - mean * mean)
+        return mean, math.sqrt(variance)
+
+    def summarize(self) -> LatencySummary:
+        """The standard latency summary, every statistic within the bound."""
+        if self._count == 0:
+            return EMPTY_SUMMARY
+        mean, std = self._moments()
+        return LatencySummary(
+            count=self._count,
+            mean=mean,
+            median=self.quantile(0.50),
+            p95=self.quantile(0.95),
+            p99=self.quantile(0.99),
+            p999=self.quantile(0.999),
+            minimum=self.min,
+            maximum=self.max,
+            std=std,
+        )
+
+    # -------------------------------------------------------------- merging
+    def compatible_with(self, other: "LatencyHistogram") -> bool:
+        """True when bucket layouts line up so merging is well-defined."""
+        same_error = self.relative_error == other.relative_error
+        return same_error and self.min_trackable_ms == other.min_trackable_ms
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Bucket-wise add ``other`` into this histogram (in place).
+
+        Exactly associative and commutative: merge order can never change
+        any reported statistic or the digest.
+        """
+        if not self.compatible_with(other):
+            message = (
+                "cannot merge histograms with different bucket layouts: "
+                f"(e={self.relative_error}, min={self.min_trackable_ms}) vs "
+                f"(e={other.relative_error}, min={other.min_trackable_ms})"
+            )
+            raise ValueError(message)
+        for index, count in other._counts.items():
+            self._counts[index] = self._counts.get(index, 0) + count
+        self._zero_count += other._zero_count
+        self._count += other._count
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+        return self
+
+    def copy(self) -> "LatencyHistogram":
+        """An independent deep copy."""
+        clone = LatencyHistogram(self.relative_error, self.min_trackable_ms)
+        clone._counts = dict(self._counts)
+        clone._zero_count = self._zero_count
+        clone._count = self._count
+        clone._min = self._min
+        clone._max = self._max
+        return clone
+
+    # -------------------------------------------------------- serialization
+    def buckets(self) -> Iterator[tuple[int, int]]:
+        """``(bucket_index, count)`` pairs in ascending index order."""
+        return iter(sorted(self._counts.items()))
+
+    def to_dict(self) -> dict:
+        """JSON-serializable state (exact round trip via :meth:`from_dict`)."""
+        return {
+            "relative_error": self.relative_error,
+            "min_trackable_ms": self.min_trackable_ms,
+            "count": self._count,
+            "zero_count": self._zero_count,
+            "min": self._min if self._count else None,
+            "max": self._max if self._count else None,
+            "buckets": {str(index): count for index, count in sorted(self._counts.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LatencyHistogram":
+        """Rebuild a histogram from :meth:`to_dict` output."""
+        hist = cls(
+            relative_error=float(payload["relative_error"]),
+            min_trackable_ms=float(payload["min_trackable_ms"]),
+        )
+        hist._counts = {int(index): int(count) for index, count in payload["buckets"].items()}
+        hist._zero_count = int(payload["zero_count"])
+        hist._count = int(payload["count"])
+        hist._min = math.inf if payload["min"] is None else float(payload["min"])
+        hist._max = -math.inf if payload["max"] is None else float(payload["max"])
+        return hist
+
+    def digest(self) -> str:
+        """sha256 content hash of the full histogram state."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LatencyHistogram):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(n={self._count}, buckets={self.bucket_count}, "
+            f"e={self.relative_error}, range=[{self.min:.3f}, {self.max:.3f}] ms)"
+        )
+
+
+def merge_histograms(histograms: Iterable[LatencyHistogram]) -> LatencyHistogram | None:
+    """Pool histograms by bucket-wise merge; ``None`` for an empty iterable.
+
+    The inputs are not mutated.  This is how replicate sets are reduced to a
+    pooled latency distribution without concatenating raw sample arrays.
+    """
+    merged: LatencyHistogram | None = None
+    for histogram in histograms:
+        if merged is None:
+            merged = histogram.copy()
+        else:
+            merged.merge(histogram)
+    return merged
+
+
+def quantile_within_bound(
+    histogram: LatencyHistogram, samples: np.ndarray, q: float, slack: float = 1e-9
+) -> bool:
+    """Check the documented error contract of ``histogram.quantile(q)``.
+
+    True when the estimate is within ``relative_error`` of at least one of
+    the two order statistics bracketing rank ``q * (n - 1)`` of ``samples``
+    (values at or below ``min_trackable_ms`` are held to an absolute bound
+    of ``min_trackable_ms`` instead).
+    """
+    arr = np.sort(np.asarray(samples, dtype=float))
+    if arr.size == 0:
+        return histogram.quantile(q) == 0.0
+    rank = q * (arr.size - 1)
+    lo = float(arr[math.floor(rank)])
+    hi = float(arr[math.ceil(rank)])
+    estimate = histogram.quantile(q)
+    e = histogram.relative_error
+    for exact in (lo, hi):
+        if exact <= histogram.min_trackable_ms:
+            if abs(estimate - exact) <= histogram.min_trackable_ms + slack:
+                return True
+        elif abs(estimate - exact) <= e * exact + slack:
+            return True
+    return False

@@ -7,7 +7,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["LatencySummary", "summarize", "percentile", "tail_to_median_ratio"]
+__all__ = ["EMPTY_SUMMARY", "LatencySummary", "summarize", "percentile", "tail_to_median_ratio"]
 
 _DEFAULT_PERCENTILES = (50.0, 95.0, 99.0, 99.9)
 
@@ -71,11 +71,15 @@ class LatencySummary:
         )
 
 
+#: The summary of an empty sample set (shared by exact and streaming paths).
+EMPTY_SUMMARY = LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
 def summarize(samples: Iterable[float] | np.ndarray) -> LatencySummary:
     """Compute the standard latency summary for a sample set."""
     arr = np.asarray(list(samples) if not isinstance(samples, np.ndarray) else samples, dtype=float)
     if arr.size == 0:
-        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return EMPTY_SUMMARY
     p50, p95, p99, p999 = (float(np.percentile(arr, q)) for q in _DEFAULT_PERCENTILES)
     return LatencySummary(
         count=int(arr.size),

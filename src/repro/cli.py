@@ -19,6 +19,12 @@ Sub-commands
     CIs).
 ``scenarios``
     List the builtin fault/perturbation scenarios and their knobs.
+``scale``
+    Smoke-test scale mode: run one large streaming-metrics simulation
+    (fixed-memory histograms instead of per-request latency lists) and
+    report its summary, histogram footprint, and — with
+    ``--compare-exact`` — the deviation from an exact-mode run of the
+    same configuration, checked against the histogram error bound.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import sys
 from typing import Sequence
 
 from . import __version__
+from .analysis.histogram import quantile_within_bound
 from .analysis.report import format_table
 from .cluster import ClusterConfig, run_cluster
 from .experiments import list_experiments, registry, run_experiment
@@ -73,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario-param", action="append", dest="scenario_params", metavar="KEY=VALUE",
         help="override one scenario knob (repeatable; values parsed as JSON, else string)",
     )
+    sim_parser.add_argument(
+        "--metrics-mode", default="exact", choices=["exact", "streaming"],
+        help="latency collection: exact per-request lists or fixed-memory streaming histograms",
+    )
 
     cluster_parser = sub.add_parser("cluster", help="run one cluster scenario")
     cluster_parser.add_argument("--strategy", default="C3")
@@ -116,8 +127,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--no-cache", action="store_true", help="disable the trial cache")
     sweep_parser.add_argument("--json", dest="json_path", metavar="PATH", help="also save the full sweep result as JSON")
+    sweep_parser.add_argument(
+        "--metrics-mode", default="exact", choices=["exact", "streaming"],
+        help="latency collection mode for every trial (streaming = fixed-memory histograms)",
+    )
 
     sub.add_parser("scenarios", help="list builtin fault/perturbation scenarios")
+
+    scale_parser = sub.add_parser(
+        "scale", help="smoke-test streaming (scale-mode) metrics on one large run"
+    )
+    scale_parser.add_argument("--strategy", default="C3")
+    scale_parser.add_argument("--servers", type=int, default=50)
+    scale_parser.add_argument("--clients", type=int, default=150)
+    scale_parser.add_argument("--requests", type=int, default=100_000)
+    scale_parser.add_argument("--utilization", type=float, default=0.7)
+    scale_parser.add_argument("--seed", type=int, default=0)
+    scale_parser.add_argument(
+        "--relative-error", type=float, default=0.01,
+        help="histogram relative-error bound (default: 0.01 = 1%%)",
+    )
+    scale_parser.add_argument(
+        "--compare-exact", action="store_true",
+        help="also run exact mode on the same config and check the deviation against the bound",
+    )
     return parser
 
 
@@ -202,6 +235,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             seed=args.seed,
             scenario=args.scenario,
             scenario_params=_parse_scenario_params(args.scenario_params),
+            metrics_mode=args.metrics_mode,
         )
     except ValueError as error:
         # Malformed KEY=VALUE pairs, unknown scenario knobs, and invalid
@@ -253,6 +287,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             num_servers=args.servers,
             num_clients=args.clients,
             num_requests=args.requests,
+            metrics_mode=args.metrics_mode,
         ),
         grid=grid,
         seeds=seed_range(args.num_seeds, args.base_seed),
@@ -273,10 +308,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "scenario": "scenario",
     }
     grid_keys = list(grid)
+    streaming = args.metrics_mode == "streaming"
     rows = []
     for point in result.aggregates():
         metrics = point.metrics
-        rows.append(
+        row = (
             [point.params[key] for key in grid_keys]
             + [
                 point.n,
@@ -287,13 +323,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 str(metrics["throughput_rps"]),
             ]
         )
-    print(
-        format_table(
-            [param_headers.get(key, key) for key in grid_keys]
-            + ["n", "mean (ms)", "median (ms)", "p99 (ms)", "p99.9 (ms)", "throughput (req/s)"],
-            rows,
-        )
+        if streaming:
+            # Bucket-merged pool across seeds: one distribution, not a mean
+            # of per-seed percentiles.
+            pooled = point.pooled or {}
+            row.append(f"{pooled.get('p99.9', 0.0):.2f}")
+        rows.append(row)
+    headers = (
+        [param_headers.get(key, key) for key in grid_keys]
+        + ["n", "mean (ms)", "median (ms)", "p99 (ms)", "p99.9 (ms)", "throughput (req/s)"]
     )
+    if streaming:
+        headers.append("pooled p99.9 (ms)")
+    print(format_table(headers, rows))
     print(
         f"trials: {len(result.trials)} total, {result.executed} executed, "
         f"{result.cached} from cache, wall {result.wall_time_s:.2f}s"
@@ -301,6 +343,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json_path:
         saved = result.save(args.json_path)
         print(f"saved: {saved}")
+    return 0
+
+
+def _cmd_scale(args: argparse.Namespace) -> int:
+    try:
+        config = SimulationConfig(
+            num_servers=args.servers,
+            num_clients=args.clients,
+            num_requests=args.requests,
+            utilization=args.utilization,
+            strategy=args.strategy,
+            seed=args.seed,
+            metrics_mode="streaming",
+            histogram_relative_error=args.relative_error,
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    result = run_simulation(config)
+    summary = result.summary
+    rows = [[args.strategy, summary.count, summary.mean, summary.median, summary.p95,
+             summary.p99, summary.p999, result.throughput_rps]]
+    print(format_table(
+        ["strategy", "n", "mean", "median", "p95", "p99", "p99.9", "throughput (req/s)"], rows
+    ))
+    histogram = result.latency_histogram
+    assert histogram is not None  # streaming mode always attaches one
+    print(
+        f"streaming histogram: {histogram.bucket_count} buckets "
+        f"(relative error {histogram.relative_error:g}, fixed memory — "
+        f"no per-request latency list)"
+    )
+    print(f"digest: {result.digest()}")
+    if not args.compare_exact:
+        return 0
+
+    exact = run_simulation(config.copy(metrics_mode="exact"))
+    exact_summary = exact.summary
+    print(format_table(
+        ["mode", "median", "p95", "p99", "p99.9"],
+        [
+            ["exact", exact_summary.median, exact_summary.p95, exact_summary.p99, exact_summary.p999],
+            ["streaming", summary.median, summary.p95, summary.p99, summary.p999],
+        ],
+    ))
+    ok = True
+    for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99), ("p99.9", 0.999)):
+        within = quantile_within_bound(histogram, exact.latencies_ms, q)
+        ok = ok and within
+        print(f"{label}: {'within bound' if within else 'OUT OF BOUND'}")
+    if not ok:
+        print("streaming percentiles violated the documented error bound", file=sys.stderr)
+        return 1
+    print("all percentiles within the histogram error bound")
     return 0
 
 
@@ -320,6 +416,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_cluster(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "scale":
+        return _cmd_scale(args)
     parser.print_help()
     return 1
 

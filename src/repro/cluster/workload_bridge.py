@@ -8,7 +8,6 @@ selection translates into the higher read throughput of Figure 7.
 
 from __future__ import annotations
 
-from typing import Callable
 
 from ..simulator.engine import EventLoop
 from ..simulator.request import Request

@@ -11,7 +11,7 @@ mirrors that structure.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Hashable, Iterable
 
 __all__ = ["BacklogEntry", "BacklogQueue", "BackpressureQueues"]

@@ -18,7 +18,7 @@ feedback.  All time values are milliseconds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Sequence
+from typing import Hashable, Sequence
 
 from .backpressure import BackpressureQueues, BacklogEntry
 from .config import C3Config

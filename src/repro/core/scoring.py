@@ -24,7 +24,7 @@ soon as queues build up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
 
 from .config import C3Config

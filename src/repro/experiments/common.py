@@ -35,6 +35,7 @@ def sweep_flat(
     grid: Mapping[str, Sequence[Any]],
     seeds: Sequence[int],
     runner: SweepRunner | None = None,
+    metrics_mode: str | None = None,
 ) -> SweepResult:
     """Run a flat-simulator parameter grid × seeds through the sweep runner.
 
@@ -43,7 +44,14 @@ def sweep_flat(
     passing ``runner=SweepRunner(max_workers=8, cache_dir=...)`` (directly or
     via ``registry.run(..., runner=...)``) turns the same experiment into a
     pooled, cached sweep without touching the experiment module.
+
+    ``metrics_mode`` overrides the base config's latency-collection mode for
+    every trial — ``"streaming"`` turns any figure sweep into a fixed-memory
+    scale-mode run (histogram summaries within the configured error bound,
+    pooled percentiles via bucket-merge) without touching the experiment.
     """
+    if metrics_mode is not None:
+        base = base.copy(metrics_mode=metrics_mode)
     runner = runner or SweepRunner(parallel=False)
     return runner.run(SweepSpec(base=base, grid=grid, seeds=seeds))
 

@@ -9,6 +9,13 @@ execution without shipping latency arrays between processes).
 :func:`aggregate_trials` groups replicated trials by grid point and reduces
 each metric across seeds into a mean with a confidence interval
 (:mod:`repro.analysis.aggregate`).
+
+Streaming-mode trials (``metrics_mode="streaming"``) also carry their
+serialized latency histograms; aggregation then *additionally* pools the
+replicates by bucket-wise histogram merge, yielding union-of-samples
+percentiles per grid point without ever concatenating raw latency arrays —
+the scale-mode replacement for mean-of-per-seed-percentiles when a single
+pooled distribution is wanted.
 """
 
 from __future__ import annotations
@@ -18,7 +25,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
-from ..analysis.aggregate import ConfidenceInterval, aggregate_metric_samples
+from ..analysis.aggregate import (
+    ConfidenceInterval,
+    aggregate_metric_samples,
+    pooled_histogram_summary,
+)
 from .spec import canonical_json
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -49,12 +60,34 @@ class TrialResult:
     result_digest: str
     wall_time_s: float
     from_cache: bool = False
+    metrics_mode: str = "exact"
+    histograms: dict | None = None
 
     @classmethod
     def from_simulation(
         cls, trial: "TrialSpec", result: "SimulationResult", wall_time_s: float
     ) -> "TrialResult":
-        """Distill a full simulation result into its persisted summary."""
+        """Distill a full simulation result into its persisted summary.
+
+        Streaming-mode results keep their latency histograms (serialized,
+        JSON-safe) so downstream aggregation can pool replicates by
+        bucket-merge; exact-mode results carry none (``histograms=None``).
+        """
+        histograms = None
+        if result.metrics_mode == "streaming" and result.latency_histogram is not None:
+            histograms = {
+                "all": result.latency_histogram.to_dict(),
+                "read": (
+                    result.read_latency_histogram.to_dict()
+                    if result.read_latency_histogram is not None
+                    else None
+                ),
+                "write": (
+                    result.write_latency_histogram.to_dict()
+                    if result.write_latency_histogram is not None
+                    else None
+                ),
+            }
         return cls(
             params=dict(trial.params),
             seed=trial.seed,
@@ -69,6 +102,8 @@ class TrialResult:
             duration_ms=result.duration_ms,
             result_digest=result.digest(),
             wall_time_s=wall_time_s,
+            metrics_mode=result.metrics_mode,
+            histograms=histograms,
         )
 
     def metric(self, name: str) -> float:
@@ -95,22 +130,37 @@ class TrialResult:
             "duration_ms": self.duration_ms,
             "result_digest": self.result_digest,
             "wall_time_s": self.wall_time_s,
+            "metrics_mode": self.metrics_mode,
+            "histograms": self.histograms,
         }
 
     @classmethod
     def from_dict(cls, payload: dict, from_cache: bool = False) -> "TrialResult":
-        """Rebuild from :meth:`to_dict` output (e.g. a cache entry)."""
+        """Rebuild from :meth:`to_dict` output (e.g. a cache entry).
+
+        Entries written before streaming mode existed lack the
+        ``metrics_mode`` / ``histograms`` keys; they default to exact mode.
+        """
+        payload = dict(payload)
+        payload.setdefault("metrics_mode", "exact")
+        payload.setdefault("histograms", None)
         return cls(from_cache=from_cache, **payload)
 
 
 @dataclass(frozen=True)
 class GridPointAggregate:
-    """One grid point's metrics reduced across its seed replicates."""
+    """One grid point's metrics reduced across its seed replicates.
+
+    ``pooled`` is the bucket-merged latency summary across the replicates'
+    streaming histograms (union-of-samples percentiles at histogram
+    resolution); ``None`` for exact-mode trials, which carry no histograms.
+    """
 
     params: dict
     n: int
     seeds: tuple[int, ...]
     metrics: dict[str, ConfidenceInterval]
+    pooled: dict | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -118,6 +168,7 @@ class GridPointAggregate:
             "n": self.n,
             "seeds": list(self.seeds),
             "metrics": {name: ci.as_dict() for name, ci in self.metrics.items()},
+            "pooled": self.pooled,
         }
 
 
@@ -135,12 +186,15 @@ def aggregate_trials(
     aggregates = []
     for members in groups.values():
         samples = {name: [t.metric(name) for t in members] for name in AGGREGATE_METRICS}
+        payloads = [t.histograms["all"] for t in members if t.histograms is not None]
+        pooled = pooled_histogram_summary(payloads) if len(payloads) == len(members) else None
         aggregates.append(
             GridPointAggregate(
                 params=dict(members[0].params),
                 n=len(members),
                 seeds=tuple(t.seed for t in members),
                 metrics=aggregate_metric_samples(samples, confidence),
+                pooled=pooled,
             )
         )
     return aggregates

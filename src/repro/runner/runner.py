@@ -15,7 +15,10 @@ stable too.  The determinism regression suite asserts both properties via
 
 Only config payloads (plain dicts) and trial-summary dicts cross the process
 boundary; workers rebuild the config themselves, which keeps the pickled
-payloads tiny and spawn-start-method safe.
+payloads tiny and spawn-start-method safe.  Streaming-mode trials return
+their latency histograms inside the summary dict as serialized bucket maps
+(O(buckets), not O(requests)), so even million-request trials ship
+kilobytes between processes.
 """
 
 from __future__ import annotations

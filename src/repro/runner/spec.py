@@ -5,7 +5,10 @@ a grid of field overrides (``{"strategy": ("C3", "LOR"), "utilization":
 (0.45, 0.7), "scenario": ("baseline", "gc-storm")}``) and a tuple of seeds.
 Scenario names (and ``scenario_params``) are ordinary config fields, so
 fault-injection scenarios sweep, hash and cache exactly like any other
-dimension — changing only the scenario produces a different trial key.  Expanding the spec yields one
+dimension — changing only the scenario produces a different trial key.
+The same holds for ``metrics_mode``: ``{"metrics_mode": ("exact",
+"streaming")}`` grids the collector mode, and exact/streaming trials of an
+otherwise identical config hash to different cache keys.  Expanding the spec yields one
 :class:`TrialSpec` per (grid point × seed), each with a fully resolved
 config and a content hash that keys the result cache: any change to any
 config field — including the seed — produces a different key, while an

@@ -12,7 +12,6 @@ component), not a new simulator code path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 from .base import ScenarioComponent, ScenarioContext
 from .processes import (

@@ -2,7 +2,7 @@
 
 from .engine import Event, EventLoop, SimulationError
 from .fluctuation import BimodalFluctuation, LatencyInflation, TransientSlowdowns
-from .metrics import MetricsCollector, SimulationResult, WindowedCounter
+from .metrics import METRICS_MODES, MetricsCollector, SimulationResult, WindowedCounter
 from .network import ConstantLatency, JitteredLatency, LognormalLatency, NetworkModel
 from .request import Request, RequestKind
 from .server import SimServer
@@ -12,6 +12,7 @@ from .workload import DemandSkew, PoissonArrivalProcess, WorkloadGenerator, repl
 
 __all__ = [
     "BimodalFluctuation",
+    "METRICS_MODES",
     "ConstantLatency",
     "DemandSkew",
     "Event",

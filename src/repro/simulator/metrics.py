@@ -5,6 +5,18 @@ The collector gathers per-request latencies, per-server windowed load counts
 and 9), throughput, and backpressure counters, and produces the summary
 statistics reported throughout the paper (mean, median, 95th, 99th, 99.9th
 percentiles).
+
+Two metric modes exist (``SimulationConfig.metrics_mode``):
+
+* ``"exact"`` (the default) appends every completed request's latency to a
+  list, exactly as the original collector did — summaries are exact and
+  the result digest is byte-identical to the pre-streaming implementation,
+  so every pinned golden digest is unchanged.
+* ``"streaming"`` records latencies into fixed-memory log-bucketed
+  histograms (:class:`~repro.analysis.histogram.LatencyHistogram`) instead
+  of lists: memory is O(buckets) regardless of horizon, p50–p99.9 are
+  within the histogram's relative-error bound of exact, and the result
+  carries its own deterministic digest (distinct from exact mode's).
 """
 
 from __future__ import annotations
@@ -12,14 +24,18 @@ from __future__ import annotations
 import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable
+from typing import Hashable
 
 import numpy as np
 
-from ..analysis.percentiles import LatencySummary, summarize
+from ..analysis.histogram import LatencyHistogram
+from ..analysis.percentiles import EMPTY_SUMMARY, LatencySummary, summarize
 from .request import Request, RequestKind
 
-__all__ = ["WindowedCounter", "MetricsCollector", "SimulationResult"]
+__all__ = ["METRICS_MODES", "WindowedCounter", "MetricsCollector", "SimulationResult"]
+
+#: Valid values of ``SimulationConfig.metrics_mode``.
+METRICS_MODES = ("exact", "streaming")
 
 
 class WindowedCounter:
@@ -49,9 +65,14 @@ class WindowedCounter:
         if horizon_ms is not None:
             last = max(last, int(horizon_ms // self.window_ms) - 1)
         dense = np.zeros(last + 1, dtype=int)
-        for window, count in self._counts.items():
-            if window <= last:
-                dense[window] = count
+        if self._counts:
+            # Vectorized scatter: the sparse dict only holds windows that saw
+            # events, so materialization cost is O(nonzero) + one allocation
+            # instead of a Python loop over the whole horizon.
+            windows = np.fromiter(self._counts.keys(), dtype=np.int64, count=len(self._counts))
+            values = np.fromiter(self._counts.values(), dtype=np.int64, count=len(self._counts))
+            in_range = windows <= last
+            dense[windows[in_range]] = values[in_range]
         return dense
 
     def series(self, horizon_ms: float | None = None) -> tuple[np.ndarray, np.ndarray]:
@@ -87,6 +108,10 @@ class SimulationResult:
     per_server_completed: dict[Hashable, int]
     strategy: str = ""
     extra: dict = field(default_factory=dict)
+    metrics_mode: str = "exact"
+    latency_histogram: LatencyHistogram | None = None
+    read_latency_histogram: LatencyHistogram | None = None
+    write_latency_histogram: LatencyHistogram | None = None
 
     @property
     def throughput_rps(self) -> float:
@@ -97,12 +122,24 @@ class SimulationResult:
 
     @property
     def summary(self) -> LatencySummary:
-        """Latency summary over all completed data requests."""
+        """Latency summary over all completed data requests.
+
+        Exact in ``exact`` mode; within the histogram's relative-error
+        bound in ``streaming`` mode.
+        """
+        if self.metrics_mode == "streaming":
+            if self.latency_histogram is None:
+                return EMPTY_SUMMARY
+            return self.latency_histogram.summarize()
         return summarize(self.latencies_ms)
 
     @property
     def read_summary(self) -> LatencySummary:
         """Latency summary over completed reads only."""
+        if self.metrics_mode == "streaming":
+            if self.read_latency_histogram is None:
+                return EMPTY_SUMMARY
+            return self.read_latency_histogram.summarize()
         return summarize(self.read_latencies_ms)
 
     def digest(self) -> str:
@@ -114,26 +151,54 @@ class SimulationResult:
         can be compared byte-for-byte without shipping raw latency arrays
         around.  The ``extra`` dict is deliberately excluded: it carries
         run metadata (config object, host details), not measurements.
+
+        Exact mode hashes the raw latency arrays and dense load series —
+        byte-identical to the pre-streaming implementation, so pinned golden
+        digests are stable.  Streaming mode hashes the histogram states and
+        the load series in *sparse* form under a distinct domain prefix:
+        the hash input is O(buckets + nonzero windows) — latency-array-free
+        — and can never collide with an exact-mode digest of the same run.
+        (The load series themselves are still materialized densely, one
+        entry per ``window_ms`` of horizon; that is O(duration), independent
+        of request count.)
         """
+        if self.metrics_mode == "streaming":
+            return self._streaming_digest()
         h = hashlib.sha256()
         for arr in (self.latencies_ms, self.read_latencies_ms, self.write_latencies_ms):
             h.update(np.ascontiguousarray(arr, dtype=float).tobytes())
-        h.update(
-            repr(
-                (
-                    round(self.duration_ms, 9),
-                    self.completed_requests,
-                    self.issued_requests,
-                    self.duplicate_requests,
-                    self.backpressure_events,
-                    self.window_ms,
-                    self.strategy,
-                )
-            ).encode()
-        )
+        h.update(self._counter_fingerprint())
         for sid in sorted(self.server_load_series, key=repr):
             h.update(repr(sid).encode())
             h.update(np.ascontiguousarray(self.server_load_series[sid]).tobytes())
+        h.update(repr(sorted(self.per_server_completed.items(), key=lambda kv: repr(kv[0]))).encode())
+        return h.hexdigest()
+
+    def _counter_fingerprint(self) -> bytes:
+        """The scalar-counter portion shared by both digest flavors."""
+        return repr(
+            (
+                round(self.duration_ms, 9),
+                self.completed_requests,
+                self.issued_requests,
+                self.duplicate_requests,
+                self.backpressure_events,
+                self.window_ms,
+                self.strategy,
+            )
+        ).encode()
+
+    def _streaming_digest(self) -> str:
+        h = hashlib.sha256(b"streaming-metrics-v1")
+        for hist in (self.latency_histogram, self.read_latency_histogram, self.write_latency_histogram):
+            h.update(hist.digest().encode() if hist is not None else b"-")
+        h.update(self._counter_fingerprint())
+        for sid in sorted(self.server_load_series, key=repr):
+            h.update(repr(sid).encode())
+            series = np.ascontiguousarray(self.server_load_series[sid])
+            nonzero = np.flatnonzero(series)
+            h.update(nonzero.tobytes())
+            h.update(series[nonzero].tobytes())
         h.update(repr(sorted(self.per_server_completed.items(), key=lambda kv: repr(kv[0]))).encode())
         return h.hexdigest()
 
@@ -152,13 +217,41 @@ class SimulationResult:
 
 
 class MetricsCollector:
-    """Accumulates request completions and server load during a run."""
+    """Accumulates request completions and server load during a run.
 
-    def __init__(self, window_ms: float = 100.0) -> None:
+    ``metrics_mode="exact"`` keeps per-request latency lists (O(requests)
+    memory, exact summaries); ``metrics_mode="streaming"`` keeps
+    log-bucketed histograms instead (O(buckets) memory — the latency lists
+    are not even allocated).
+    """
+
+    def __init__(
+        self,
+        window_ms: float = 100.0,
+        metrics_mode: str = "exact",
+        histogram_relative_error: float = 0.01,
+    ) -> None:
+        if metrics_mode not in METRICS_MODES:
+            raise ValueError(
+                f"unknown metrics_mode {metrics_mode!r}; choose one of {METRICS_MODES}"
+            )
         self.window_ms = float(window_ms)
-        self._latencies: list[float] = []
-        self._read_latencies: list[float] = []
-        self._write_latencies: list[float] = []
+        self.metrics_mode = metrics_mode
+        self.histogram_relative_error = float(histogram_relative_error)
+        self._latencies: list[float] | None = None
+        self._read_latencies: list[float] | None = None
+        self._write_latencies: list[float] | None = None
+        self._histogram: LatencyHistogram | None = None
+        self._read_histogram: LatencyHistogram | None = None
+        self._write_histogram: LatencyHistogram | None = None
+        if metrics_mode == "streaming":
+            self._histogram = LatencyHistogram(histogram_relative_error)
+            self._read_histogram = LatencyHistogram(histogram_relative_error)
+            self._write_histogram = LatencyHistogram(histogram_relative_error)
+        else:
+            self._latencies = []
+            self._read_latencies = []
+            self._write_latencies = []
         self._per_server_windows: dict[Hashable, WindowedCounter] = {}
         self._per_server_completed: dict[Hashable, int] = defaultdict(int)
         self.issued_requests = 0
@@ -193,18 +286,29 @@ class MetricsCollector:
         if latency is None:
             return
         self.completed_requests += 1
-        self._latencies.append(latency)
-        if request.kind == RequestKind.WRITE:
-            self._write_latencies.append(latency)
+        if self.metrics_mode == "streaming":
+            assert self._histogram is not None  # streaming mode always allocates
+            assert self._read_histogram is not None and self._write_histogram is not None
+            self._histogram.record(latency)
+            if request.kind == RequestKind.WRITE:
+                self._write_histogram.record(latency)
+            else:
+                self._read_histogram.record(latency)
         else:
-            self._read_latencies.append(latency)
+            assert self._latencies is not None  # exact mode always allocates
+            assert self._read_latencies is not None and self._write_latencies is not None
+            self._latencies.append(latency)
+            if request.kind == RequestKind.WRITE:
+                self._write_latencies.append(latency)
+            else:
+                self._read_latencies.append(latency)
 
     def result(self, duration_ms: float, strategy: str = "", extra: dict | None = None) -> SimulationResult:
         """Freeze the collected metrics into a :class:`SimulationResult`."""
         return SimulationResult(
-            latencies_ms=np.asarray(self._latencies, dtype=float),
-            read_latencies_ms=np.asarray(self._read_latencies, dtype=float),
-            write_latencies_ms=np.asarray(self._write_latencies, dtype=float),
+            latencies_ms=np.asarray(self._latencies or (), dtype=float),
+            read_latencies_ms=np.asarray(self._read_latencies or (), dtype=float),
+            write_latencies_ms=np.asarray(self._write_latencies or (), dtype=float),
             duration_ms=float(duration_ms),
             completed_requests=self.completed_requests,
             issued_requests=self.issued_requests,
@@ -217,4 +321,8 @@ class MetricsCollector:
             per_server_completed=dict(self._per_server_completed),
             strategy=strategy,
             extra=dict(extra or {}),
+            metrics_mode=self.metrics_mode,
+            latency_histogram=self._histogram,
+            read_latency_histogram=self._read_histogram,
+            write_latency_histogram=self._write_histogram,
         )

@@ -19,7 +19,7 @@ from ..strategies import make_selector
 from .client import SimClient
 from .engine import EventLoop
 from .fluctuation import BimodalFluctuation
-from .metrics import MetricsCollector, SimulationResult
+from .metrics import METRICS_MODES, MetricsCollector, SimulationResult
 from .network import ConstantLatency, NetworkModel
 from .request import Request
 from .server import DownServerTracker, SimServer
@@ -40,6 +40,12 @@ class SimulationConfig:
     A named ``scenario`` (see :mod:`repro.scenarios`) replaces the legacy
     bimodal fluctuation fields with a composable perturbation schedule;
     ``scenario_params`` overrides that scenario's knobs.
+
+    ``metrics_mode`` selects how latencies are collected: ``"exact"``
+    (per-request lists, exact summaries — the default) or ``"streaming"``
+    (fixed-memory log-bucketed histograms with relative error
+    ``histogram_relative_error`` — the scale-mode path for long-horizon /
+    million-request runs).
     """
 
     num_servers: int = 50
@@ -66,6 +72,8 @@ class SimulationConfig:
     max_sim_time_ms: float = 600_000.0
     load_window_ms: float = 100.0
     record_rate_history: bool = False
+    metrics_mode: str = "exact"
+    histogram_relative_error: float = 0.01
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -79,6 +87,12 @@ class SimulationConfig:
             raise ValueError("utilization must be in (0, 1.5]")
         if self.mean_service_time_ms <= 0:
             raise ValueError("mean_service_time_ms must be positive")
+        if self.metrics_mode not in METRICS_MODES:
+            raise ValueError(
+                f"unknown metrics_mode {self.metrics_mode!r}; choose one of {METRICS_MODES}"
+            )
+        if not 0.0 < self.histogram_relative_error < 1.0:
+            raise ValueError("histogram_relative_error must be in (0, 1)")
         if self.scenario is not None:
             from ..scenarios.registry import validate_scenario
 
@@ -127,7 +141,11 @@ class ReplicaSelectionSimulation:
         self.config = config
         self.loop = EventLoop()
         self.rng = np.random.default_rng(config.seed)
-        self.metrics = MetricsCollector(window_ms=config.load_window_ms)
+        self.metrics = MetricsCollector(
+            window_ms=config.load_window_ms,
+            metrics_mode=config.metrics_mode,
+            histogram_relative_error=config.histogram_relative_error,
+        )
         self.network: NetworkModel = ConstantLatency(config.network_delay_ms)
 
         self.servers: dict[Hashable, SimServer] = {}

@@ -9,7 +9,6 @@ same way YCSB does it (``scrambled`` mode).
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

@@ -1,0 +1,183 @@
+"""Unit tests for the streaming log-bucketed latency histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import LatencyHistogram, merge_histograms, quantile_within_bound
+
+
+class TestConstruction:
+    def test_rejects_bad_relative_error(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                LatencyHistogram(relative_error=bad)
+
+    def test_rejects_bad_min_trackable(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(min_trackable_ms=0.0)
+
+    def test_empty_histogram(self):
+        hist = LatencyHistogram()
+        assert hist.count == 0
+        assert hist.bucket_count == 0
+        assert hist.quantile(0.5) == 0.0
+        assert hist.min == 0.0 and hist.max == 0.0
+        summary = hist.summarize()
+        assert summary.count == 0 and summary.p999 == 0.0
+
+
+class TestRecording:
+    def test_rejects_negative_and_non_finite(self):
+        hist = LatencyHistogram()
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                hist.record(bad)
+        with pytest.raises(ValueError):
+            hist.record_many([1.0, -2.0])
+
+    def test_single_value_is_exact_everywhere(self):
+        hist = LatencyHistogram()
+        hist.record(42.5)
+        # Clamping to the exact min/max makes degenerate cases exact.
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 42.5
+        summary = hist.summarize()
+        assert summary.minimum == 42.5 and summary.maximum == 42.5
+
+    def test_sub_min_trackable_values_land_in_zero_bucket(self):
+        hist = LatencyHistogram(min_trackable_ms=1e-3)
+        hist.record(0.0)
+        hist.record(5e-4)
+        assert hist.count == 2
+        assert hist.bucket_count == 1
+        # Estimated at 0.0, clamped into [min, max] = [0.0, 5e-4]: the
+        # absolute error is bounded by min_trackable_ms.
+        assert hist.quantile(0.5) <= 1e-3
+
+    def test_percentiles_track_exact_within_bound(self):
+        rng = np.random.default_rng(42)
+        samples = rng.exponential(scale=10.0, size=50_000) + 0.25
+        hist = LatencyHistogram(relative_error=0.01)
+        hist.record_many(samples)
+        for q in (0.5, 0.9, 0.95, 0.99, 0.999):
+            assert quantile_within_bound(hist, samples, q)
+            # Dense samples: the estimate is also directly close to numpy's.
+            exact = float(np.percentile(samples, q * 100.0))
+            assert abs(hist.quantile(q) - exact) <= 0.02 * exact
+
+    def test_record_many_matches_scalar_record(self):
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=1.0, sigma=1.5, size=2_000)
+        loop = LatencyHistogram()
+        vec = LatencyHistogram()
+        for value in samples:
+            loop.record(float(value))
+        vec.record_many(samples)
+        assert loop.count == vec.count
+        assert loop.min == vec.min and loop.max == vec.max
+        for q in (0.01, 0.5, 0.95, 0.999):
+            assert loop.quantile(q) == pytest.approx(vec.quantile(q), rel=2e-2)
+
+    def test_memory_stays_o_buckets_at_a_million_samples(self):
+        rng = np.random.default_rng(0)
+        # Seven decades of dynamic range, a million samples.
+        samples = np.exp(rng.uniform(np.log(1e-2), np.log(1e5), size=1_000_000))
+        hist = LatencyHistogram(relative_error=0.01)
+        hist.record_many(samples)
+        assert hist.count == 1_000_000
+        # ln(1e7) / ln(gamma) ≈ 800 buckets for 1% error — fixed, tiny.
+        assert hist.bucket_count < 1_000
+
+    def test_quantile_validates_range(self):
+        hist = LatencyHistogram()
+        hist.record(1.0)
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+    def test_mean_within_relative_error(self):
+        rng = np.random.default_rng(3)
+        samples = rng.gamma(shape=2.0, scale=5.0, size=20_000) + 0.1
+        hist = LatencyHistogram(relative_error=0.01)
+        hist.record_many(samples)
+        assert hist.summarize().mean == pytest.approx(float(samples.mean()), rel=0.01)
+
+
+class TestMerge:
+    def test_merge_equals_recording_everything(self):
+        rng = np.random.default_rng(11)
+        a, b = rng.exponential(5.0, 500) + 0.1, rng.exponential(50.0, 700) + 0.1
+        merged = LatencyHistogram()
+        merged.record_many(a)
+        other = LatencyHistogram()
+        other.record_many(b)
+        merged.merge(other)
+        combined = LatencyHistogram()
+        combined.record_many(np.concatenate([a, b]))
+        # Bucket state is the whole state, so this is exact equality.
+        assert merged == combined
+        assert merged.digest() == combined.digest()
+
+    def test_merge_does_not_mutate_other(self):
+        a = LatencyHistogram()
+        a.record(1.0)
+        b = LatencyHistogram()
+        b.record(2.0)
+        before = b.digest()
+        a.merge(b)
+        assert b.digest() == before
+
+    def test_merge_rejects_incompatible_layouts(self):
+        a = LatencyHistogram(relative_error=0.01)
+        b = LatencyHistogram(relative_error=0.02)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_histograms_helper(self):
+        hists = []
+        for seed in range(3):
+            hist = LatencyHistogram()
+            hist.record_many(np.random.default_rng(seed).exponential(4.0, 200) + 0.1)
+            hists.append(hist)
+        pooled = merge_histograms(hists)
+        assert pooled is not None
+        assert pooled.count == sum(h.count for h in hists)
+        # Inputs untouched.
+        assert all(h.count == 200 for h in hists)
+        assert merge_histograms([]) is None
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self):
+        hist = LatencyHistogram(relative_error=0.02, min_trackable_ms=1e-2)
+        hist.record_many(np.random.default_rng(5).exponential(8.0, 1_000) + 0.1)
+        hist.record(0.0)  # populate the zero bucket too
+        clone = LatencyHistogram.from_dict(hist.to_dict())
+        assert clone == hist
+        assert clone.digest() == hist.digest()
+        assert clone.quantile(0.99) == hist.quantile(0.99)
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        hist = LatencyHistogram()
+        hist.record_many([0.5, 1.0, 100.0])
+        payload = json.loads(json.dumps(hist.to_dict()))
+        assert LatencyHistogram.from_dict(payload) == hist
+
+    def test_digest_changes_with_content(self):
+        a = LatencyHistogram()
+        a.record(1.0)
+        b = LatencyHistogram()
+        b.record(2.0)
+        assert a.digest() != b.digest()
+
+    def test_copy_is_independent(self):
+        hist = LatencyHistogram()
+        hist.record(3.0)
+        clone = hist.copy()
+        clone.record(4.0)
+        assert hist.count == 1 and clone.count == 2

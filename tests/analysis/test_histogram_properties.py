@@ -1,0 +1,100 @@
+"""Hypothesis property suite for scale-mode metrics.
+
+Invariants, not values:
+
+* every streaming quantile estimate satisfies the documented error
+  contract against the exact sample set (within ``relative_error`` of an
+  order statistic bracketing the requested rank);
+* bucket-merge is associative and commutative, down to digest equality —
+  merge order can never change a pooled measurement;
+* recording values one at a time and in bulk agree on every count.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.analysis.histogram import LatencyHistogram, merge_histograms, quantile_within_bound
+
+_latency = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+_samples = st.lists(_latency, min_size=1, max_size=300)
+_error = st.sampled_from([0.005, 0.01, 0.05])
+
+
+def _build(values, relative_error=0.01) -> LatencyHistogram:
+    hist = LatencyHistogram(relative_error=relative_error)
+    hist.record_many(np.asarray(values, dtype=float))
+    return hist
+
+
+class TestErrorContract:
+    @given(values=_samples, relative_error=_error)
+    @settings(max_examples=150, deadline=None)
+    def test_quantiles_within_documented_bound(self, values, relative_error):
+        hist = _build(values, relative_error)
+        samples = np.asarray(values, dtype=float)
+        for q in (0.0, 0.5, 0.95, 0.99, 0.999, 1.0):
+            assert quantile_within_bound(hist, samples, q), (
+                f"q={q} estimate {hist.quantile(q)} violates the bound on {len(values)} samples"
+            )
+
+    @given(values=_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_count_min_max_are_exact(self, values):
+        hist = _build(values)
+        samples = np.asarray(values, dtype=float)
+        assert hist.count == samples.size
+        assert hist.min == float(samples.min())
+        assert hist.max == float(samples.max())
+
+    @given(values=_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_quantiles_are_monotone_in_q(self, values):
+        hist = _build(values)
+        estimates = [hist.quantile(q) for q in (0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0)]
+        assert estimates == sorted(estimates)
+
+
+class TestMergeAlgebra:
+    @given(a=_samples, b=_samples, c=_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_associative(self, a, b, c):
+        ha, hb, hc = _build(a), _build(b), _build(c)
+        left = ha.copy().merge(hb).merge(hc)
+        right = ha.copy().merge(hb.copy().merge(hc))
+        assert left.digest() == right.digest()
+
+    @given(a=_samples, b=_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_is_commutative(self, a, b):
+        ha, hb = _build(a), _build(b)
+        assert ha.copy().merge(hb).digest() == hb.copy().merge(ha).digest()
+
+    @given(a=_samples, b=_samples)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_equals_recording_the_union(self, a, b):
+        merged = _build(a).merge(_build(b))
+        union = _build(list(a) + list(b))
+        assert merged.digest() == union.digest()
+
+    @given(chunks=st.lists(_samples, min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_pooling_matches_single_histogram_over_all_samples(self, chunks):
+        pooled = merge_histograms(_build(chunk) for chunk in chunks)
+        assert pooled is not None
+        flat = _build([v for chunk in chunks for v in chunk])
+        assert pooled.digest() == flat.digest()
+        # And the pooled quantiles obey the contract against the union.
+        union = np.asarray([v for chunk in chunks for v in chunk], dtype=float)
+        for q in (0.5, 0.99):
+            assert quantile_within_bound(pooled, union, q)
+
+
+class TestSerializationProperties:
+    @given(values=_samples, relative_error=_error)
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_lossless(self, values, relative_error):
+        hist = _build(values, relative_error)
+        assert LatencyHistogram.from_dict(hist.to_dict()).digest() == hist.digest()

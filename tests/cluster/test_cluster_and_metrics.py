@@ -1,6 +1,5 @@
 """Integration-level tests for the cluster assembly and its metrics."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import (

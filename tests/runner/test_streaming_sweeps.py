@@ -1,0 +1,126 @@
+"""Sweep-runner coverage for scale-mode (streaming) metrics.
+
+Extends the determinism contract to streaming mode: serial and
+process-pool execution stay digest-identical, histograms survive the
+worker→parent and cache round trips, and per-grid-point aggregation pools
+replicates by bucket-merge instead of concatenating raw latency arrays.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.histogram import LatencyHistogram
+from repro.runner import SweepRunner, SweepSpec, TrialResult
+from repro.simulator import SimulationConfig
+
+
+def base_config(**overrides) -> SimulationConfig:
+    params = dict(
+        num_servers=9,
+        num_clients=10,
+        num_requests=250,
+        utilization=0.6,
+        strategy="C3",
+        seed=0,
+        metrics_mode="streaming",
+    )
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+class TestStreamingDeterminism:
+    def test_pool_matches_serial_digest_for_digest(self):
+        spec = SweepSpec(
+            base=base_config(),
+            grid={"strategy": ("C3", "LOR"), "metrics_mode": ("exact", "streaming")},
+            seeds=(0, 1),
+        )
+        serial = SweepRunner(parallel=False).run(spec)
+        pooled = SweepRunner(max_workers=2).run(spec)
+        assert serial.trial_digests() == pooled.trial_digests()
+        for s, p in zip(serial.trials, pooled.trials):
+            assert s.summary == p.summary
+            assert s.histograms == p.histograms
+
+    def test_exact_and_streaming_digests_differ_per_trial(self):
+        spec = SweepSpec(
+            base=base_config(), grid={"metrics_mode": ("exact", "streaming")}, seeds=(0,)
+        )
+        exact, streaming = SweepRunner(parallel=False).run(spec).trials
+        assert exact.metrics_mode == "exact" and streaming.metrics_mode == "streaming"
+        assert exact.result_digest != streaming.result_digest
+        assert exact.histograms is None
+        assert streaming.histograms is not None
+
+
+class TestHistogramPlumbing:
+    def test_trial_histograms_are_serialized_bucket_maps(self):
+        spec = SweepSpec(base=base_config(), grid={}, seeds=(0,))
+        [trial] = SweepRunner(parallel=False).run(spec).trials
+        payload = trial.histograms["all"]
+        hist = LatencyHistogram.from_dict(payload)
+        assert hist.count == trial.completed_requests
+        # Far smaller than the raw sample set: that is the point.
+        assert hist.bucket_count < trial.completed_requests
+
+    def test_cache_round_trip_preserves_histograms(self, tmp_path):
+        spec = SweepSpec(base=base_config(), grid={}, seeds=(0, 1))
+        runner = SweepRunner(parallel=False, cache_dir=tmp_path)
+        first = runner.run(spec)
+        rerun = runner.run(spec)
+        assert rerun.executed == 0 and rerun.cached == 2
+        assert rerun.trial_digests() == first.trial_digests()
+        for a, b in zip(first.trials, rerun.trials):
+            assert a.histograms == b.histograms
+
+    def test_old_cache_entries_without_histogram_keys_still_load(self):
+        payload = {
+            "params": {},
+            "seed": 0,
+            "strategy": "C3",
+            "key": "k" * 64,
+            "summary": {"median": 1.0, "p99.9": 2.0},
+            "throughput_rps": 10.0,
+            "completed_requests": 5,
+            "issued_requests": 5,
+            "duplicate_requests": 0,
+            "backpressure_events": 0,
+            "duration_ms": 100.0,
+            "result_digest": "d" * 64,
+            "wall_time_s": 0.1,
+        }
+        trial = TrialResult.from_dict(payload, from_cache=True)
+        assert trial.metrics_mode == "exact"
+        assert trial.histograms is None
+
+    def test_sweep_result_json_round_trip(self, tmp_path):
+        spec = SweepSpec(base=base_config(), grid={}, seeds=(0, 1))
+        result = SweepRunner(parallel=False).run(spec)
+        path = result.save(tmp_path / "sweep.json")
+        from repro.runner import SweepResult
+
+        loaded = SweepResult.load(path)
+        assert loaded.trial_digests() == result.trial_digests()
+        assert [t.histograms for t in loaded.trials] == [t.histograms for t in result.trials]
+
+
+class TestPooledAggregation:
+    def test_aggregates_pool_replicates_by_bucket_merge(self):
+        spec = SweepSpec(base=base_config(), grid={}, seeds=(0, 1, 2))
+        result = SweepRunner(parallel=False).run(spec)
+        [point] = result.aggregates()
+        assert point.pooled is not None
+        total = sum(t.completed_requests for t in result.trials)
+        assert point.pooled["count"] == total
+        # The pooled distribution spans all replicates.
+        mins = [t.summary["min"] for t in result.trials]
+        maxes = [t.summary["max"] for t in result.trials]
+        assert point.pooled["min"] == pytest.approx(min(mins))
+        assert point.pooled["max"] == pytest.approx(max(maxes))
+        assert point.to_dict()["pooled"] == point.pooled
+
+    def test_exact_mode_aggregates_have_no_pool(self):
+        spec = SweepSpec(base=base_config(metrics_mode="exact"), grid={}, seeds=(0, 1))
+        [point] = SweepRunner(parallel=False).run(spec).aggregates()
+        assert point.pooled is None

@@ -40,7 +40,9 @@ class TestSweepCommand:
         assert "12 executed, 0 from cache" in first
         assert "0 executed, 12 from cache" in second
         # Cached rerun reproduces the aggregate table exactly.
-        table = lambda out: [l for l in out.splitlines() if "±" in l]
+        def table(out):
+            return [line for line in out.splitlines() if "±" in line]
+
         assert table(first) == table(second)
 
     def test_spec_change_invalidates_cache(self, capsys, tmp_path):

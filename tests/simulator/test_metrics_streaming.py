@@ -1,0 +1,154 @@
+"""Scale-mode (streaming) metrics: collector behavior and result semantics.
+
+The contract: switching ``metrics_mode`` changes how latencies are
+*collected*, never what the simulation *does* — counters, duration and
+load series stay identical between modes on the same seed; percentiles
+agree within the histogram error bound; memory stays O(buckets) with no
+per-request latency list; and streaming results have their own
+deterministic digest, distinct from exact mode's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import quantile_within_bound
+from repro.simulator import MetricsCollector, SimulationConfig, run_simulation
+from repro.simulator.request import Request, RequestKind
+
+
+def small_config(**overrides) -> SimulationConfig:
+    params = dict(
+        num_servers=9,
+        num_clients=10,
+        num_requests=400,
+        utilization=0.6,
+        strategy="C3",
+        seed=7,
+    )
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+class TestCollectorModes:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(metrics_mode="bogus")
+        with pytest.raises(ValueError):
+            SimulationConfig(metrics_mode="bogus")
+        with pytest.raises(ValueError):
+            SimulationConfig(histogram_relative_error=1.5)
+
+    def test_streaming_collector_never_allocates_latency_lists(self):
+        collector = MetricsCollector(metrics_mode="streaming")
+        assert collector._latencies is None
+        assert collector._read_latencies is None
+        assert collector._write_latencies is None
+
+    def test_exact_collector_has_no_histograms(self):
+        collector = MetricsCollector()
+        assert collector._histogram is None
+
+    def test_streaming_memory_is_o_buckets_at_a_million_completions(self):
+        """A 1M-completed-request streaming collector holds only buckets.
+
+        Drives ``on_complete`` directly (no event loop) so the test runs in
+        seconds: the collector-side guarantee — no per-request latency
+        list, bucket count bounded by dynamic range — is exactly what makes
+        million-request simulation runs practical.
+        """
+        collector = MetricsCollector(metrics_mode="streaming")
+        rng = np.random.default_rng(1)
+        latencies = rng.exponential(scale=8.0, size=1_000_000) + 0.25
+        request = Request(
+            request_id=0, client_id=0, replica_group=(0,), created_at=0.0, server_id=0
+        )
+        for i, latency in enumerate(latencies.tolist()):
+            request.completed_at = latency  # created_at=0 → latency directly
+            collector.on_complete(request, now=float(i % 1000))
+        assert collector.completed_requests == 1_000_000
+        assert collector._latencies is None  # still no list — O(buckets) only
+        histogram = collector._histogram
+        assert histogram is not None
+        assert histogram.count == 1_000_000
+        assert histogram.bucket_count < 1_500
+        result = collector.result(duration_ms=1_000.0)
+        for q in (0.5, 0.99, 0.999):
+            assert quantile_within_bound(histogram, latencies, q)
+        assert result.summary.count == 1_000_000
+
+    def test_read_write_split_in_streaming_mode(self):
+        collector = MetricsCollector(metrics_mode="streaming")
+        read = Request(
+            request_id=0, client_id=0, replica_group=(0,), created_at=0.0, server_id=0
+        )
+        read.completed_at = 5.0
+        write = Request(
+            request_id=1,
+            client_id=0,
+            replica_group=(0,),
+            created_at=0.0,
+            kind=RequestKind.WRITE,
+            server_id=0,
+        )
+        write.completed_at = 9.0
+        collector.on_complete(read, now=5.0)
+        collector.on_complete(write, now=9.0)
+        result = collector.result(duration_ms=10.0)
+        assert result.read_latency_histogram.count == 1
+        assert result.write_latency_histogram.count == 1
+        assert result.read_summary.median == 5.0  # single value → exact
+
+
+class TestModeEquivalence:
+    def test_modes_do_not_change_simulation_dynamics(self):
+        exact = run_simulation(small_config())
+        streaming = run_simulation(small_config(metrics_mode="streaming"))
+        assert streaming.completed_requests == exact.completed_requests
+        assert streaming.issued_requests == exact.issued_requests
+        assert streaming.duplicate_requests == exact.duplicate_requests
+        assert streaming.backpressure_events == exact.backpressure_events
+        assert streaming.duration_ms == exact.duration_ms
+        assert streaming.per_server_completed == exact.per_server_completed
+        for sid, series in exact.server_load_series.items():
+            assert np.array_equal(streaming.server_load_series[sid], series)
+
+    def test_streaming_percentiles_within_bound_of_exact(self):
+        exact = run_simulation(small_config())
+        streaming = run_simulation(small_config(metrics_mode="streaming"))
+        histogram = streaming.latency_histogram
+        for q in (0.5, 0.95, 0.99, 0.999):
+            assert quantile_within_bound(histogram, exact.latencies_ms, q)
+
+    def test_streaming_result_ships_no_latency_arrays(self):
+        result = run_simulation(small_config(metrics_mode="streaming"))
+        assert result.latencies_ms.size == 0
+        assert result.read_latencies_ms.size == 0
+        assert result.write_latencies_ms.size == 0
+        assert result.metrics_mode == "streaming"
+        assert result.latency_histogram is not None
+
+
+class TestStreamingDigest:
+    def test_streaming_digest_is_deterministic(self):
+        config = small_config(metrics_mode="streaming")
+        assert run_simulation(config).digest() == run_simulation(config).digest()
+
+    def test_streaming_digest_differs_from_exact(self):
+        exact = run_simulation(small_config())
+        streaming = run_simulation(small_config(metrics_mode="streaming"))
+        assert exact.digest() != streaming.digest()
+
+    def test_streaming_digest_covers_seed_and_strategy(self):
+        base = run_simulation(small_config(metrics_mode="streaming")).digest()
+        other_seed = run_simulation(small_config(metrics_mode="streaming", seed=8)).digest()
+        other_strategy = run_simulation(
+            small_config(metrics_mode="streaming", strategy="LOR")
+        ).digest()
+        assert len({base, other_seed, other_strategy}) == 3
+
+    def test_relative_error_changes_the_digest(self):
+        a = run_simulation(small_config(metrics_mode="streaming"))
+        b = run_simulation(small_config(metrics_mode="streaming", histogram_relative_error=0.05))
+        assert a.digest() != b.digest()

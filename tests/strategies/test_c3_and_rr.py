@@ -1,6 +1,5 @@
 """Unit tests for the C3 selector adapter and the rate-limited round-robin."""
 
-import pytest
 
 from repro.core.config import C3Config
 from repro.core.feedback import ServerFeedback

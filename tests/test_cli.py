@@ -56,3 +56,77 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "C3" in out and "throughput" in out
+
+
+class TestScaleMode:
+    def test_simulate_accepts_metrics_mode(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--strategy", "C3",
+                "--servers", "9",
+                "--clients", "10",
+                "--requests", "300",
+                "--metrics-mode", "streaming",
+            ]
+        )
+        assert code == 0
+        assert "p99" in capsys.readouterr().out
+
+    def test_simulate_rejects_unknown_metrics_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--metrics-mode", "bogus"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_scale_command_reports_fixed_memory_histogram(self, capsys):
+        code = main(
+            [
+                "scale",
+                "--servers", "9",
+                "--clients", "10",
+                "--requests", "1000",
+                "--utilization", "0.6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streaming histogram:" in out
+        assert "buckets" in out
+        assert "digest:" in out
+
+    def test_scale_compare_exact_checks_the_bound(self, capsys):
+        code = main(
+            [
+                "scale",
+                "--servers", "9",
+                "--clients", "10",
+                "--requests", "1500",
+                "--utilization", "0.6",
+                "--compare-exact",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "all percentiles within the histogram error bound" in out
+
+    def test_scale_rejects_bad_relative_error(self, capsys):
+        assert main(["scale", "--requests", "10", "--relative-error", "2.0"]) == 2
+        assert "histogram_relative_error" in capsys.readouterr().err
+
+    def test_sweep_streaming_prints_pooled_column(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--strategy", "C3",
+                "--utilization", "0.6",
+                "--servers", "9",
+                "--clients", "8",
+                "--requests", "200",
+                "--num-seeds", "2",
+                "--serial",
+                "--no-cache",
+                "--metrics-mode", "streaming",
+            ]
+        )
+        assert code == 0
+        assert "pooled p99.9" in capsys.readouterr().out
