@@ -33,7 +33,13 @@ from .simulator import (
     SimulationResult,
     run_simulation,
 )
-from .strategies import STRATEGY_NAMES, make_selector
+from .strategies import (
+    STRATEGY_NAMES,
+    StrategySpec,
+    make_selector,
+    register_strategy,
+    strategy_names,
+)
 from .analysis import LatencySummary, summarize
 
 __version__ = "1.0.0"
@@ -52,10 +58,13 @@ __all__ = [
     "ServerFeedback",
     "SimulationConfig",
     "SimulationResult",
+    "StrategySpec",
     "cubic_rate",
     "cubic_score",
     "make_selector",
+    "register_strategy",
     "run_simulation",
+    "strategy_names",
     "summarize",
     "__version__",
 ]

@@ -19,6 +19,10 @@ Sub-commands
     CIs).
 ``scenarios``
     List the builtin fault/perturbation scenarios and their knobs.
+``strategies``
+    List the registered replica-selection strategies — canonical names,
+    aliases, and their parameters with defaults — plus the spec grammar
+    accepted by every ``--strategy`` flag (``"c3:cubic_c=2e-4,b=3"``).
 ``scale``
     Smoke-test scale mode: run one large streaming-metrics simulation
     (fixed-memory histograms instead of per-request latency lists) and
@@ -42,6 +46,7 @@ from .experiments import list_experiments, registry, run_experiment
 from .runner import SweepRunner, SweepSpec, seed_range
 from .scenarios import get_scenario, scenario_names
 from .simulator import SimulationConfig, run_simulation
+from .strategies import get_strategy, strategy_names
 
 __all__ = ["main", "build_parser"]
 
@@ -64,8 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario override for experiments that accept one (see `c3-repro scenarios`)",
     )
 
+    strategy_help = (
+        "strategy name or parameterized spec, e.g. C3 or \"c3:cubic_c=2e-4,b=3\" "
+        "(see `c3-repro strategies`)"
+    )
+
     sim_parser = sub.add_parser("simulate", help="run one flat-simulator scenario")
-    sim_parser.add_argument("--strategy", default="C3")
+    sim_parser.add_argument("--strategy", default="C3", help=strategy_help)
     sim_parser.add_argument("--servers", type=int, default=50)
     sim_parser.add_argument("--clients", type=int, default=150)
     sim_parser.add_argument("--requests", type=int, default=10_000)
@@ -86,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cluster_parser = sub.add_parser("cluster", help="run one cluster scenario")
-    cluster_parser.add_argument("--strategy", default="C3")
+    cluster_parser.add_argument("--strategy", default="C3", help=strategy_help)
     cluster_parser.add_argument("--nodes", type=int, default=15)
     cluster_parser.add_argument("--generators", type=int, default=60)
     cluster_parser.add_argument("--duration", type=float, default=2_000.0, help="duration (ms)")
@@ -98,8 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="run a multi-seed parameter grid through the process-pool sweep runner"
     )
     sweep_parser.add_argument(
-        "--strategy", action="append", dest="strategies", metavar="NAME",
-        help="strategy to include (repeatable; default: C3 LOR RR)",
+        "--strategy", action="append", dest="strategies", metavar="SPEC",
+        help=f"strategy to include — {strategy_help} (repeatable; default: C3 LOR RR); "
+             "distinct parameterizations of one strategy sweep as distinct grid points",
     )
     sweep_parser.add_argument(
         "--utilization", action="append", dest="utilizations", type=float, metavar="U",
@@ -134,10 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("scenarios", help="list builtin fault/perturbation scenarios")
 
+    sub.add_parser(
+        "strategies",
+        help="list registered replica-selection strategies, aliases, and parameters",
+    )
+
     scale_parser = sub.add_parser(
         "scale", help="smoke-test streaming (scale-mode) metrics on one large run"
     )
-    scale_parser.add_argument("--strategy", default="C3")
+    scale_parser.add_argument("--strategy", default="C3", help=strategy_help)
     scale_parser.add_argument("--servers", type=int, default=50)
     scale_parser.add_argument("--clients", type=int, default=150)
     scale_parser.add_argument("--requests", type=int, default=100_000)
@@ -196,6 +212,34 @@ def _cmd_scenarios() -> int:
     return 0
 
 
+def _cmd_strategies() -> int:
+    rows = []
+    for name in strategy_names():
+        info = get_strategy(name)
+        rendered = []
+        for field_name, default in info.param_defaults().items():
+            aliases = info.aliases_for(field_name)
+            label = f"{field_name} ({', '.join(aliases)})" if aliases else field_name
+            rendered.append(f"{label}={default!r}")
+        rows.append(
+            [
+                name,
+                ", ".join(info.aliases) or "-",
+                info.description,
+                ", ".join(rendered) or "-",
+            ]
+        )
+    print(format_table(["strategy", "aliases", "description", "params (defaults)"], rows))
+    print()
+    print(
+        "spec grammar: NAME[:param=value,...] — names/aliases are case-insensitive, "
+        "values are JSON scalars, parenthesised short-hands are accepted param "
+        "aliases (e.g. \"c3:cubic_c=2e-4,b=3\"); a param left unset (or null) uses "
+        "the paper default shown above."
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.scenario is not None:
@@ -244,24 +288,28 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 2
     result = run_simulation(config)
     summary = result.summary
-    rows = [[args.strategy, summary.mean, summary.median, summary.p95, summary.p99, summary.p999, result.throughput_rps]]
+    rows = [[config.strategy, summary.mean, summary.median, summary.p95, summary.p99, summary.p999, result.throughput_rps]]
     print(format_table(["strategy", "mean", "median", "p95", "p99", "p99.9", "throughput (req/s)"], rows))
     return 0
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    config = ClusterConfig(
-        num_nodes=args.nodes,
-        num_generators=args.generators,
-        duration_ms=args.duration,
-        workload_mix=args.mix,
-        disk=args.disk,
-        strategy=args.strategy,
-        seed=args.seed,
-    )
+    try:
+        config = ClusterConfig(
+            num_nodes=args.nodes,
+            num_generators=args.generators,
+            duration_ms=args.duration,
+            workload_mix=args.mix,
+            disk=args.disk,
+            strategy=args.strategy,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     result = run_cluster(config)
     summary = result.read_summary
-    rows = [[args.strategy, args.mix, summary.mean, summary.median, summary.p95, summary.p99, summary.p999, result.throughput_rps]]
+    rows = [[config.strategy, args.mix, summary.mean, summary.median, summary.p95, summary.p99, summary.p999, result.throughput_rps]]
     print(
         format_table(
             ["strategy", "workload", "mean", "median", "p95", "p99", "p99.9", "throughput (ops/s)"], rows
@@ -282,16 +330,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(error, file=sys.stderr)
             return 2
         grid["scenario"] = tuple(args.scenarios)
-    spec = SweepSpec(
-        base=SimulationConfig(
-            num_servers=args.servers,
-            num_clients=args.clients,
-            num_requests=args.requests,
-            metrics_mode=args.metrics_mode,
-        ),
-        grid=grid,
-        seeds=seed_range(args.num_seeds, args.base_seed),
-    )
+    try:
+        # SweepSpec canonicalizes the strategy axis (bare names and
+        # parameterized specs alike) and rejects unknown strategies or
+        # params with the registry's did-you-mean error.
+        spec = SweepSpec(
+            base=SimulationConfig(
+                num_servers=args.servers,
+                num_clients=args.clients,
+                num_requests=args.requests,
+                metrics_mode=args.metrics_mode,
+            ),
+            grid=grid,
+            seeds=seed_range(args.num_seeds, args.base_seed),
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     runner = SweepRunner(
         max_workers=args.workers,
         cache_dir=None if args.no_cache else args.cache_dir,
@@ -363,7 +418,7 @@ def _cmd_scale(args: argparse.Namespace) -> int:
         return 2
     result = run_simulation(config)
     summary = result.summary
-    rows = [[args.strategy, summary.count, summary.mean, summary.median, summary.p95,
+    rows = [[config.strategy, summary.count, summary.mean, summary.median, summary.p95,
              summary.p99, summary.p999, result.throughput_rps]]
     print(format_table(
         ["strategy", "n", "mean", "median", "p95", "p99", "p99.9", "throughput (req/s)"], rows
@@ -408,6 +463,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_list()
     if args.command == "scenarios":
         return _cmd_scenarios()
+    if args.command == "strategies":
+        return _cmd_strategies()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "simulate":

@@ -10,7 +10,7 @@ gossip, compaction and GC processes, and closed-loop YCSB generators.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Hashable
+from typing import Any, Hashable, Mapping
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from ..simulator.engine import EventLoop
 from ..simulator.network import ConstantLatency, NetworkModel
 from ..simulator.metrics import SimulationResult
 from ..simulator.request import Request
-from ..strategies import make_selector
+from ..strategies import StrategySpec
 from ..workloads.records import FixedRecordSize, ZipfSkewedRecordSize
 from ..workloads.ycsb import YCSBWorkload
 from .coordinator import Coordinator, SpeculativeRetryPolicy
@@ -72,14 +72,21 @@ class GeneratorGroup:
 
 @dataclass(slots=True)
 class ClusterConfig:
-    """Parameters of one cluster run (scaled-down §5 deployment by default)."""
+    """Parameters of one cluster run (scaled-down §5 deployment by default).
+
+    ``strategy`` accepts the same forms as
+    :attr:`~repro.simulator.simulation.SimulationConfig.strategy` — bare
+    names, parameterized spec strings, mappings, or a
+    :class:`~repro.strategies.StrategySpec` — and is normalized to the
+    canonical spec string at construction.
+    """
 
     num_nodes: int = 15
     replication_factor: int = 3
     disk: str = "hdd"
     cache_hit_probability: float = 0.1
     node_concurrency: int = 8
-    strategy: str = "C3"
+    strategy: "str | Mapping[str, Any] | StrategySpec" = "C3"
     c3_config: C3Config | None = None
     num_generators: int = 40
     workload_mix: str = "read_heavy"
@@ -104,6 +111,7 @@ class ClusterConfig:
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        self.strategy = StrategySpec.parse(self.strategy).canonical()
         if self.num_nodes < self.replication_factor:
             raise ValueError("num_nodes must be >= replication_factor")
         if self.duration_ms <= 0:
@@ -117,6 +125,11 @@ class ClusterConfig:
     def disk_profile(self) -> DiskProfile:
         """The configured disk profile."""
         return HDD_PROFILE if self.disk == "hdd" else SSD_PROFILE
+
+    @property
+    def strategy_spec(self) -> StrategySpec:
+        """The canonical :class:`StrategySpec` of this run's strategy."""
+        return StrategySpec.parse(self.strategy)
 
     def groups(self) -> list[GeneratorGroup]:
         """The generator groups (a single default group when none given)."""
@@ -170,15 +183,15 @@ class CassandraCluster:
             self.gossip.register(node_id, lambda n=node: n.iowait)
 
         c3_config = cfg.c3_config or C3Config().with_clients(cfg.num_nodes)
+        strategy_spec = cfg.strategy_spec
         spec_policy = None
         for node_id in self.node_ids:
-            selector = make_selector(
-                cfg.strategy,
-                config=c3_config,
+            selector = strategy_spec.build(
                 rng=np.random.default_rng(self.rng.integers(2**63)),
                 server_state_fn=self._node_state,
                 iowait_fn=self.gossip.latest_iowait,
                 record_rate_history=cfg.record_rate_history,
+                c3_config=c3_config,
             )
             if cfg.speculative_retry_percentile is not None:
                 spec_policy = SpeculativeRetryPolicy(percentile=cfg.speculative_retry_percentile)

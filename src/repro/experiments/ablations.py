@@ -8,15 +8,24 @@ on the flat simulator:
 * the **concurrency-compensation weight** ``w`` (set to the number of clients
   in the paper; 0 disables the compensation entirely);
 * **rate control** (C3 with the ranking only, no rate limiter/backpressure).
+
+Each ablation is a *strategy parameter sweep*: the variants are expressed as
+:class:`~repro.strategies.StrategySpec` strings (``"C3:b=2"``,
+``"C3:rate_control_enabled=false"``) gridded through
+:func:`~repro.experiments.common.sweep_flat`, so they inherit process
+pooling, per-trial caching and seed aggregation from the sweep runner like
+every other grid dimension — no bespoke loops.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from typing import Sequence
 
-from ..core.config import C3Config
-from ..simulator import SimulationConfig, run_simulation
+from ..runner import SweepRunner
+from ..simulator import SimulationConfig
+from ..strategies import StrategySpec
 from .base import ExperimentResult, registry
+from .common import sweep_flat
 
 __all__ = ["run_exponent_ablation", "run_concurrency_ablation", "run_rate_control_ablation"]
 
@@ -28,13 +37,36 @@ _DEFAULT_SIM = dict(
     fluctuation_interval_ms=200.0,
 )
 
+#: Aggregate metrics reported per variant, in column order.
+_METRIC_COLUMNS = (("median", "median"), ("p95", "p95"), ("p99", "p99"), ("p999", "p99.9"))
 
-def _run_c3(config_overrides: dict, c3_config: C3Config, seed: int = 0) -> dict:
-    params = dict(_DEFAULT_SIM)
-    params.update(config_overrides)
-    sim_config = SimulationConfig(strategy="C3", c3_config=c3_config, seed=seed, **params)
-    summary = run_simulation(sim_config).summary
-    return summary.as_dict()
+
+def _c3_param_sweep(
+    variants: Sequence[tuple[str, str]],
+    seeds: Sequence[int],
+    runner: SweepRunner | None,
+    sim_params: dict,
+) -> tuple[list[list], dict]:
+    """Sweep labelled C3 param specs and reduce each to its metric row.
+
+    ``variants`` is ``[(label, spec string), ...]``; the sweep grids the
+    specs on the ``strategy`` axis (replicated across ``seeds``) and each
+    label's row/data reports the seed-averaged latency metrics.
+    """
+    base = SimulationConfig(**sim_params)
+    grid = {"strategy": tuple(spec for _, spec in variants)}
+    result = sweep_flat(base, grid, seeds, runner=runner)
+    by_strategy = {point.params["strategy"]: point for point in result.aggregates()}
+
+    rows: list[list] = []
+    data: dict = {}
+    for label, spec in variants:
+        point = by_strategy[StrategySpec.parse(spec).canonical()]
+        metrics = {name: point.metrics[key].mean for key, name in _METRIC_COLUMNS}
+        metrics["throughput_rps"] = point.metrics["throughput_rps"].mean
+        rows.append([label] + [metrics[name] for _, name in _METRIC_COLUMNS])
+        data[label] = metrics
+    return rows, data
 
 
 @registry.register("ablation_exponent", "Scoring-function exponent ablation (b = 1, 2, 3, 4)")
@@ -42,19 +74,17 @@ def run_exponent_ablation(
     exponents: tuple[float, ...] = (1.0, 2.0, 3.0, 4.0),
     num_clients: int = 90,
     seeds: tuple[int, ...] = (0,),
+    runner: SweepRunner | None = None,
     **sim_overrides,
 ) -> ExperimentResult:
     """Sweep the queue-penalty exponent ``b`` of the scoring function."""
-    rows = []
-    data = {}
-    for exponent in exponents:
-        metrics = []
-        for seed in seeds:
-            c3_config = C3Config(score_exponent=exponent).with_clients(num_clients)
-            metrics.append(_run_c3({**sim_overrides, "num_clients": num_clients}, c3_config, seed))
-        averaged = {k: float(np.mean([m[k] for m in metrics])) for k in metrics[0]}
-        rows.append([exponent, averaged["median"], averaged["p95"], averaged["p99"], averaged["p99.9"]])
-        data[exponent] = averaged
+    variants = [(exponent, f"C3:b={exponent}") for exponent in exponents]
+    rows, data = _c3_param_sweep(
+        variants,
+        seeds,
+        runner,
+        {**_DEFAULT_SIM, **sim_overrides, "num_clients": num_clients},
+    )
     return ExperimentResult(
         experiment_id="ablation_exponent",
         title="C3 latency (ms) as a function of the scoring exponent b",
@@ -73,20 +103,23 @@ def run_exponent_ablation(
 def run_concurrency_ablation(
     num_clients: int = 90,
     seeds: tuple[int, ...] = (0,),
+    runner: SweepRunner | None = None,
     **sim_overrides,
 ) -> ExperimentResult:
     """Sweep the concurrency-compensation weight ``w`` in the queue estimate."""
-    weights = [("w = 0 (off)", 0.0), ("w = 1", 1.0), (f"w = n ({num_clients})", float(num_clients))]
-    rows = []
-    data = {}
-    for label, weight in weights:
-        metrics = []
-        for seed in seeds:
-            c3_config = C3Config(concurrency_weight=weight)
-            metrics.append(_run_c3({**sim_overrides, "num_clients": num_clients}, c3_config, seed))
-        averaged = {k: float(np.mean([m[k] for m in metrics])) for k in metrics[0]}
-        rows.append([label, averaged["median"], averaged["p95"], averaged["p99"], averaged["p99.9"]])
-        data[label] = averaged
+    variants = [
+        ("w = 0 (off)", "C3:w=0"),
+        ("w = 1", "C3:w=1"),
+        # w = n is the spec default (concurrency_weight=None -> number of
+        # clients), so the bare name is the paper's configuration.
+        (f"w = n ({num_clients})", "C3"),
+    ]
+    rows, data = _c3_param_sweep(
+        variants,
+        seeds,
+        runner,
+        {**_DEFAULT_SIM, **sim_overrides, "num_clients": num_clients},
+    )
     return ExperimentResult(
         experiment_id="ablation_concurrency",
         title="C3 latency (ms) as a function of the concurrency-compensation weight",
@@ -105,6 +138,7 @@ def run_rate_control_ablation(
     num_clients: int = 90,
     seeds: tuple[int, ...] = (0,),
     utilization: float = 0.85,
+    runner: SweepRunner | None = None,
     **sim_overrides,
 ) -> ExperimentResult:
     """Compare full C3 against ranking-only C3 (no rate control/backpressure).
@@ -113,25 +147,20 @@ def run_rate_control_ablation(
     utilisation is higher than in the other ablations.
     """
     variants = [
-        ("C3 (ranking + rate control)", True),
-        ("C3 ranking only", False),
+        ("C3 (ranking + rate control)", "C3"),
+        ("C3 ranking only", "C3:rate_control_enabled=false"),
     ]
-    rows = []
-    data = {}
-    for label, enabled in variants:
-        metrics = []
-        for seed in seeds:
-            c3_config = C3Config(rate_control_enabled=enabled).with_clients(num_clients)
-            metrics.append(
-                _run_c3(
-                    {**sim_overrides, "num_clients": num_clients, "utilization": utilization},
-                    c3_config,
-                    seed,
-                )
-            )
-        averaged = {k: float(np.mean([m[k] for m in metrics])) for k in metrics[0]}
-        rows.append([label, averaged["median"], averaged["p95"], averaged["p99"], averaged["p99.9"]])
-        data[label] = averaged
+    rows, data = _c3_param_sweep(
+        variants,
+        seeds,
+        runner,
+        {
+            **_DEFAULT_SIM,
+            **sim_overrides,
+            "num_clients": num_clients,
+            "utilization": utilization,
+        },
+    )
     return ExperimentResult(
         experiment_id="ablation_rate_control",
         title=f"C3 latency (ms) with and without rate control (utilization {utilization:.0%})",

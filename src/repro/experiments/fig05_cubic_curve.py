@@ -13,6 +13,7 @@ import numpy as np
 
 from ..core.config import C3Config
 from ..core.rate_control import cubic_rate
+from ..strategies import StrategySpec, c3_config_from_params
 from .base import ExperimentResult, registry
 
 __all__ = ["run", "curve_points", "region_boundaries"]
@@ -47,9 +48,29 @@ def region_boundaries(saturation_rate: float, beta: float, gamma: float, toleran
 
 
 @registry.register("fig05", "Cubic rate-adaptation growth curve (Figure 5)")
-def run(saturation_rate: float = 50.0, saddle_ms: float = 100.0, beta: float = 0.2) -> ExperimentResult:
-    """Reproduce the shape of Figure 5 for the paper's parameters."""
-    config = C3Config(beta=beta, saddle_duration_ms=saddle_ms, initial_rate=saturation_rate)
+def run(
+    saturation_rate: float = 50.0,
+    saddle_ms: float = 100.0,
+    beta: float = 0.2,
+    strategy: str = "C3",
+) -> ExperimentResult:
+    """Reproduce the shape of Figure 5 for the paper's parameters.
+
+    The curve's knobs are addressed through the strategy-spec grammar: the
+    default ``"C3"`` uses the paper values (as tuned by ``saturation_rate``,
+    ``saddle_ms`` and ``beta``), while e.g. ``strategy="c3:cubic_c=4e-4"``
+    pins the cubic scaling factor γ explicitly and
+    ``strategy="c3:beta=0.4"`` overrides the multiplicative decrease — the
+    same spec strings a parameter sweep would grid over.
+    """
+    spec = StrategySpec.parse(strategy)
+    if spec.name != "C3":
+        raise ValueError(f"fig05 plots the C3 growth curve; got strategy {spec.name!r}")
+    config = c3_config_from_params(
+        spec.params_dict,
+        C3Config(beta=beta, saddle_duration_ms=saddle_ms, initial_rate=saturation_rate),
+    )
+    beta = config.beta
     gamma = config.effective_gamma(saturation_rate)
     boundaries = region_boundaries(saturation_rate, beta, gamma)
     elapsed, rates = curve_points(saturation_rate, beta, gamma)

@@ -31,6 +31,7 @@ from typing import Any, Mapping, Sequence
 
 from ..core.config import C3Config
 from ..simulator import DemandSkew, SimulationConfig
+from ..strategies import StrategySpec
 
 __all__ = [
     "SweepSpec",
@@ -51,9 +52,13 @@ def _jsonify(value: Any) -> Any:
     """Convert ``value`` into a JSON-serializable equivalent.
 
     Dataclasses (``DemandSkew``, ``C3Config``) become dicts, tuples become
-    lists; anything json can't express raises so cache keys never silently
+    lists; a :class:`StrategySpec` becomes its canonical string (the same
+    form ``SimulationConfig`` stores, so both spellings hash identically);
+    anything json can't express raises so cache keys never silently
     depend on ``repr`` formatting.
     """
+    if isinstance(value, StrategySpec):
+        return value.canonical()
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {k: _jsonify(v) for k, v in dataclasses.asdict(value).items()}
     if isinstance(value, dict):
@@ -156,6 +161,15 @@ class SweepSpec:
                     f"string ({values!r}); write {name!r}: ({values!r},) for a single value"
                 )
         normalized_grid = {str(k): tuple(v) for k, v in dict(self.grid).items()}
+        if "strategy" in normalized_grid:
+            # Canonicalize strategy specs up front: grid values may be bare
+            # names, spec strings, mappings, or StrategySpec objects, and
+            # unknown strategies/params should fail at spec construction
+            # (with the registry's did-you-mean error), not mid-sweep.
+            normalized_grid["strategy"] = tuple(
+                StrategySpec.parse(value).canonical()
+                for value in normalized_grid["strategy"]
+            )
         for name, values in normalized_grid.items():
             if name not in _CONFIG_FIELDS:
                 raise ValueError(

@@ -10,12 +10,12 @@ together and runs the event loop until every generated request completes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Hashable
+from typing import Any, Hashable, Mapping
 
 import numpy as np
 
 from ..core.config import C3Config
-from ..strategies import make_selector
+from ..strategies import StrategySpec
 from .client import SimClient
 from .engine import EventLoop
 from .fluctuation import BimodalFluctuation
@@ -46,6 +46,12 @@ class SimulationConfig:
     (fixed-memory log-bucketed histograms with relative error
     ``histogram_relative_error`` — the scale-mode path for long-horizon /
     million-request runs).
+
+    ``strategy`` accepts a registered name (``"C3"``), a parameterized spec
+    string (``"c3:cubic_c=4e-4,b=3"``), a mapping (``{"name": "c3",
+    "params": {...}}``), or a :class:`~repro.strategies.StrategySpec`; it is
+    normalized to the canonical spec string at construction, so bare names
+    stay byte-identical in payloads, cache keys, and golden digests.
     """
 
     num_servers: int = 50
@@ -60,7 +66,7 @@ class SimulationConfig:
     fluctuation_enabled: bool = True
     network_delay_ms: float = 0.25
     read_repair_probability: float = 0.1
-    strategy: str = "C3"
+    strategy: "str | Mapping[str, Any] | StrategySpec" = "C3"
     seed: int = 0
     scenario: str | None = None
     scenario_params: dict = field(default_factory=dict)
@@ -77,6 +83,10 @@ class SimulationConfig:
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # Normalize any accepted strategy form to the canonical spec string
+        # (validating the name and params in the process): "c3" -> "C3",
+        # "c3:cubic_c=2e-4" -> "C3:gamma=0.0002", bare names unchanged.
+        self.strategy = StrategySpec.parse(self.strategy).canonical()
         if self.num_servers < self.replication_factor:
             raise ValueError("num_servers must be >= replication_factor")
         if self.num_clients < 1:
@@ -99,6 +109,11 @@ class SimulationConfig:
             validate_scenario(self.scenario, self.scenario_params)
         elif self.scenario_params:
             raise ValueError("scenario_params given without a scenario name")
+
+    @property
+    def strategy_spec(self) -> StrategySpec:
+        """The canonical :class:`StrategySpec` of this run's strategy."""
+        return StrategySpec.parse(self.strategy)
 
     @property
     def effective_rate_multiplier(self) -> float:
@@ -176,14 +191,14 @@ class ReplicaSelectionSimulation:
             self.servers[sid] = server
 
         c3_config = cfg.c3_config or C3Config().with_clients(cfg.num_clients)
+        strategy_spec = cfg.strategy_spec
         for cid in range(cfg.num_clients):
             selector_rng = np.random.default_rng(self.rng.integers(2**63))
-            selector = make_selector(
-                cfg.strategy,
-                config=c3_config,
+            selector = strategy_spec.build(
                 rng=selector_rng,
                 server_state_fn=self._server_state,
                 record_rate_history=cfg.record_rate_history,
+                c3_config=c3_config,
             )
             client_rng = np.random.default_rng(self.rng.integers(2**63))
             client = SimClient(

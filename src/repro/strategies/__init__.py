@@ -1,76 +1,110 @@
 """Replica-selection strategies: C3 and every baseline used in the paper.
 
-The :func:`make_selector` factory builds selectors by name, which is how the
-simulation configs and the experiment harness request strategies.
+Strategies live in a plugin registry (:mod:`repro.strategies.registry`):
+each selector module registers itself under a canonical name with a typed,
+frozen param dataclass whose defaults are the paper's values.  A
+:class:`StrategySpec` — parsed from ``"c3"``, ``"c3:cubic_c=4e-4,b=3"``, or
+``{"name": "c3", "params": {...}}`` — addresses one (strategy, parameters)
+point, which makes strategy *parameters* a first-class sweep axis alongside
+the strategy name itself.
+
+:data:`STRATEGY_NAMES`, the accepted aliases, and the CLI's strategy listing
+are all derived from the registry; :func:`make_selector` remains as the
+convenience factory (now spec-aware: ``make_selector("c3:beta=0.5")``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable
+from typing import Any, Callable, Hashable, Mapping
 
 import numpy as np
 
 from ..core.config import C3Config
 from .base import ReplicaSelector, SelectorDecision, StatefulSelector
-from .c3 import C3Selector
-from .dynamic_snitch import DynamicSnitchSelector
-from .least_outstanding import LeastOutstandingSelector
-from .least_response_time import LeastResponseTimeSelector
-from .oracle import OracleSelector
-from .power_of_two import PowerOfTwoSelector
-from .random_choice import RandomSelector
-from .round_robin import RoundRobinSelector
-from .weighted_random import WeightedRandomSelector
+
+# Selector modules self-register on import; the import order below fixes the
+# canonical registration order reported by strategy_names() / STRATEGY_NAMES.
+from .c3 import C3Params, C3Selector, c3_config_from_params
+from .oracle import OracleParams, OracleSelector
+from .least_outstanding import LeastOutstandingParams, LeastOutstandingSelector
+from .round_robin import RoundRobinParams, RoundRobinSelector
+from .random_choice import RandomParams, RandomSelector
+from .least_response_time import LeastResponseTimeParams, LeastResponseTimeSelector
+from .power_of_two import PowerOfTwoParams, PowerOfTwoSelector
+from .weighted_random import WeightedRandomParams, WeightedRandomSelector
+from .dynamic_snitch import DynamicSnitchParams, DynamicSnitchSelector
+
+from .registry import (
+    BuildContext,
+    StrategyInfo,
+    build_selector,
+    get_strategy,
+    register_strategy,
+    resolve_strategy,
+    strategy_names,
+)
+from .spec import StrategySpec
 
 __all__ = [
+    "BuildContext",
+    "C3Params",
     "C3Selector",
+    "DynamicSnitchParams",
     "DynamicSnitchSelector",
+    "LeastOutstandingParams",
     "LeastOutstandingSelector",
+    "LeastResponseTimeParams",
     "LeastResponseTimeSelector",
+    "OracleParams",
     "OracleSelector",
+    "PowerOfTwoParams",
     "PowerOfTwoSelector",
+    "RandomParams",
     "RandomSelector",
     "ReplicaSelector",
+    "RoundRobinParams",
     "RoundRobinSelector",
     "SelectorDecision",
     "StatefulSelector",
+    "StrategyInfo",
+    "StrategySpec",
+    "WeightedRandomParams",
     "WeightedRandomSelector",
     "STRATEGY_NAMES",
+    "build_selector",
+    "c3_config_from_params",
+    "get_strategy",
     "make_selector",
+    "register_strategy",
+    "resolve_strategy",
+    "strategy_names",
 ]
 
-#: Canonical names accepted by :func:`make_selector`.
-STRATEGY_NAMES = (
-    "C3",
-    "ORA",
-    "LOR",
-    "RR",
-    "RAND",
-    "LRT",
-    "P2C",
-    "WRAND",
-    "DS",
-)
+#: Canonical strategy names, derived from the registry (registration order).
+STRATEGY_NAMES = strategy_names()
 
 
 def make_selector(
-    name: str,
+    name: "str | Mapping[str, Any] | StrategySpec",
     *,
     config: C3Config | None = None,
     rng: np.random.Generator | None = None,
     server_state_fn: Callable[[Hashable], tuple[float, float]] | None = None,
     iowait_fn: Callable[[Hashable], float] | None = None,
     record_rate_history: bool = False,
-    **kwargs,
+    **params: Any,
 ) -> ReplicaSelector:
-    """Build a selector by its canonical name.
+    """Build a selector from a strategy name or parameterized spec.
 
     Parameters
     ----------
     name:
-        One of :data:`STRATEGY_NAMES` (case-insensitive).
+        A registered strategy name or alias (case-insensitive), a spec
+        string (``"c3:cubic_c=4e-4"``), a mapping (``{"name": ...,
+        "params": {...}}``), or a :class:`StrategySpec`.
     config:
-        C3 configuration, used by the C3 and RR (rate-limited) strategies.
+        Base C3 configuration for the strategies that carry rate
+        controllers (C3 and rate-limited RR).
     rng:
         Random generator for strategies that randomise tie-breaks.
     server_state_fn:
@@ -79,28 +113,18 @@ def make_selector(
         Gossip callback used by the ``DS`` strategy.
     record_rate_history:
         Enables per-server rate traces on the C3 strategy (Figure 13).
-    kwargs:
-        Extra keyword arguments forwarded to the selector constructor.
+    params:
+        Strategy parameters, validated against the registered param
+        dataclass — unknown names are rejected with a closest-match
+        suggestion.  Keyword params override same-named spec params.
     """
-    key = name.strip().upper()
-    if key == "C3":
-        return C3Selector(config=config, record_rate_history=record_rate_history, **kwargs)
-    if key in ("ORA", "ORACLE"):
-        if server_state_fn is None:
-            raise ValueError("the ORA strategy requires server_state_fn")
-        return OracleSelector(server_state_fn=server_state_fn, **kwargs)
-    if key in ("LOR", "LEAST_OUTSTANDING"):
-        return LeastOutstandingSelector(rng=rng, **kwargs)
-    if key in ("RR", "ROUND_ROBIN"):
-        return RoundRobinSelector(config=config, **kwargs)
-    if key in ("RAND", "RANDOM"):
-        return RandomSelector(rng=rng, **kwargs)
-    if key in ("LRT", "LEAST_RESPONSE_TIME"):
-        return LeastResponseTimeSelector(rng=rng, **kwargs)
-    if key in ("P2C", "POWER_OF_TWO"):
-        return PowerOfTwoSelector(rng=rng, **kwargs)
-    if key in ("WRAND", "WEIGHTED_RANDOM"):
-        return WeightedRandomSelector(rng=rng, **kwargs)
-    if key in ("DS", "DYNAMIC_SNITCH"):
-        return DynamicSnitchSelector(iowait_fn=iowait_fn, rng=rng, **kwargs)
-    raise ValueError(f"unknown strategy {name!r}; valid names: {', '.join(STRATEGY_NAMES)}")
+    spec = StrategySpec.parse(name)
+    if params:
+        spec = StrategySpec.of(spec.name, {**spec.params_dict, **params})
+    return spec.build(
+        rng=rng,
+        server_state_fn=server_state_fn,
+        iowait_fn=iowait_fn,
+        record_rate_history=record_rate_history,
+        c3_config=config,
+    )

@@ -2,16 +2,91 @@
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Sequence
 
 from ..core.config import C3Config
 from ..core.feedback import ServerFeedback
 from ..core.scheduler import C3Scheduler
 from .base import ReplicaSelector, SelectorDecision
+from .registry import BuildContext, register_strategy
 
-__all__ = ["C3Selector"]
+__all__ = ["C3Params", "C3Selector", "c3_config_from_params"]
 
 
+@dataclass(frozen=True, slots=True)
+class C3Params:
+    """Sweepable C3 parameters (defaults = the paper's §4 values).
+
+    Fields mirror :class:`~repro.core.config.C3Config`; a spec param simply
+    overrides the matching config field.  ``None`` means "derived": the
+    concurrency weight defaults to the number of clients in the deployment,
+    ``gamma`` to the saddle-duration heuristic, and the hysteresis to twice
+    the rate window.  Paper-notation aliases are registered alongside:
+    ``b`` (score exponent), ``w`` (concurrency weight), ``cubic_c`` (the
+    cubic curve's scaling factor γ) and ``delta_ms`` (the rate window δ).
+    """
+
+    score_exponent: float = 3.0
+    concurrency_weight: float | None = None
+    ewma_alpha: float = 0.9
+    rate_delta_ms: float = 20.0
+    beta: float = 0.2
+    smax: float = 10.0
+    saddle_duration_ms: float = 100.0
+    gamma: float | None = None
+    hysteresis_ms: float | None = None
+    initial_rate: float = 10.0
+    min_rate: float = 0.1
+    max_rate: float | None = None
+    rate_control_enabled: bool = True
+    rate_excess_tolerance: float = 1.2
+    rate_min_utilisation: float = 0.4
+    service_time_floor_ms: float = 1e-3
+
+
+def c3_config_from_params(
+    params: Mapping[str, Any], base: C3Config | None = None
+) -> C3Config:
+    """Apply explicit spec params over a base :class:`C3Config`.
+
+    The base carries the deployment-derived defaults (notably
+    ``with_clients``); params present in the spec override it field-by-field.
+    Note the canonicalization consequence: a spec param equal to the
+    registered default was dropped at parse time (it means "the paper
+    value"), so it cannot *restore* a default over a base config that
+    diverges from it — when mixing a custom ``c3_config`` with spec params,
+    express every intended override in the spec.
+    """
+    config = base or C3Config()
+    overrides = {key: value for key, value in params.items() if value is not None}
+    return config.copy(**overrides) if overrides else config
+
+
+def _validate_c3_params(params: Mapping[str, Any]) -> None:
+    # C3Config.__post_init__ owns the value constraints; applying the params
+    # to a default config surfaces them at spec-parse time.
+    c3_config_from_params(params)
+
+
+def _build_c3(params: Mapping[str, Any], ctx: BuildContext) -> "C3Selector":
+    config = c3_config_from_params(params, ctx.c3_config)
+    return C3Selector(config=config, record_rate_history=ctx.record_rate_history)
+
+
+@register_strategy(
+    "C3",
+    params=C3Params,
+    description="Adaptive replica selection: cubic scoring + distributed rate control (the paper's system)",
+    param_aliases={
+        "b": "score_exponent",
+        "w": "concurrency_weight",
+        "cubic_c": "gamma",
+        "delta_ms": "rate_delta_ms",
+    },
+    factory=_build_c3,
+    validate=_validate_c3_params,
+)
 class C3Selector(ReplicaSelector):
     """Replica selection with C3 ranking, rate control and backpressure.
 

@@ -21,19 +21,47 @@ cluster substrate through an ``iowait_fn`` callback.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Callable, Hashable, Sequence
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Sequence
 
 import numpy as np
 
 from ..core.feedback import ServerFeedback
 from .base import StatefulSelector
+from .registry import IowaitFn, register_strategy
 
-__all__ = ["DynamicSnitchSelector"]
-
-#: Callback returning a peer's most recently gossiped iowait fraction [0, 1].
-IowaitFn = Callable[[Hashable], float]
+__all__ = ["DynamicSnitchParams", "DynamicSnitchSelector", "IowaitFn"]
 
 
+@dataclass(frozen=True, slots=True)
+class DynamicSnitchParams:
+    """Dynamic Snitching parameters (defaults = Cassandra's, per §2.3)."""
+
+    update_interval_ms: float = 100.0
+    reset_interval_ms: float = 600_000.0
+    iowait_weight: float = 100.0
+    history_size: int = 100
+    badness_threshold: float = 0.0
+    decay_alpha: float = 0.75
+
+
+def _validate_ds_params(params: Mapping[str, Any]) -> None:
+    if params.get("update_interval_ms", 100.0) <= 0:
+        raise ValueError("update_interval_ms must be positive")
+    if params.get("reset_interval_ms", 600_000.0) <= 0:
+        raise ValueError("reset_interval_ms must be positive")
+    if not 0.0 <= params.get("badness_threshold", 0.0) < 1.0:
+        raise ValueError("badness_threshold must be in [0, 1)")
+
+
+@register_strategy(
+    "DS",
+    aliases=("DYNAMIC_SNITCH",),
+    params=DynamicSnitchParams,
+    description="Cassandra Dynamic Snitching: interval-scored latency history + gossiped iowait",
+    context_args=("rng", "iowait_fn"),
+    validate=_validate_ds_params,
+)
 class DynamicSnitchSelector(StatefulSelector):
     """Interval-scored, latency-history + iowait based replica selection.
 

@@ -10,16 +10,30 @@ the same server.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 import numpy as np
 
 from ..core.feedback import ServerFeedback
 from .base import StatefulSelector
+from .registry import register_strategy
 
-__all__ = ["LeastOutstandingSelector"]
+__all__ = ["LeastOutstandingParams", "LeastOutstandingSelector"]
 
 
+@dataclass(frozen=True, slots=True)
+class LeastOutstandingParams:
+    """LOR has no tunable parameters — ties break uniformly at random."""
+
+
+@register_strategy(
+    "LOR",
+    aliases=("LEAST_OUTSTANDING",),
+    params=LeastOutstandingParams,
+    description="Fewest locally-outstanding requests (Nginx/ELB-style least-connections)",
+    context_args=("rng",),
+)
 class LeastOutstandingSelector(StatefulSelector):
     """Pick the replica with the fewest locally-outstanding requests."""
 

@@ -9,6 +9,7 @@ failure mode C3's concurrency compensation addresses.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -16,10 +17,26 @@ import numpy as np
 from ..core.ewma import EWMA
 from ..core.feedback import ServerFeedback
 from .base import StatefulSelector
+from .registry import register_strategy
 
-__all__ = ["LeastResponseTimeSelector"]
+__all__ = ["LeastResponseTimeParams", "LeastResponseTimeSelector"]
 
 
+@dataclass(frozen=True, slots=True)
+class LeastResponseTimeParams:
+    """LRT parameters."""
+
+    #: EWMA smoothing weight for the per-replica response-time estimate.
+    alpha: float = 0.9
+
+
+@register_strategy(
+    "LRT",
+    aliases=("LEAST_RESPONSE_TIME",),
+    params=LeastResponseTimeParams,
+    description="Lowest EWMA-smoothed observed response time (herding-prone baseline)",
+    context_args=("rng",),
+)
 class LeastResponseTimeSelector(StatefulSelector):
     """Pick the replica with the lowest smoothed observed response time."""
 

@@ -8,17 +8,29 @@ simulated client supplies a callback that exposes the true server state.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Sequence
+from dataclasses import dataclass
+from typing import Hashable, Sequence
 
 from ..core.feedback import ServerFeedback
 from .base import StatefulSelector
+from .registry import ServerStateFn, register_strategy
 
-__all__ = ["OracleSelector"]
-
-#: Callback returning ``(pending_requests, current_service_time_ms)`` for a server.
-ServerStateFn = Callable[[Hashable], tuple[float, float]]
+__all__ = ["OracleParams", "OracleSelector", "ServerStateFn"]
 
 
+@dataclass(frozen=True, slots=True)
+class OracleParams:
+    """The oracle has no tunable parameters — it reads ground truth."""
+
+
+@register_strategy(
+    "ORA",
+    aliases=("ORACLE",),
+    params=OracleParams,
+    description="Omniscient baseline: smallest instantaneous queue x service time, from ground truth",
+    context_args=("server_state_fn",),
+    requires=("server_state_fn",),
+)
 class OracleSelector(StatefulSelector):
     """Choose the replica with the smallest instantaneous ``q / μ`` product."""
 

@@ -10,6 +10,7 @@ but the strategy is included for completeness and for ablation studies.
 from __future__ import annotations
 
 from collections import defaultdict
+from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 import numpy as np
@@ -17,10 +18,26 @@ import numpy as np
 from ..core.ewma import EWMA
 from ..core.feedback import ServerFeedback
 from .base import StatefulSelector
+from .registry import register_strategy
 
-__all__ = ["PowerOfTwoSelector"]
+__all__ = ["PowerOfTwoParams", "PowerOfTwoSelector"]
 
 
+@dataclass(frozen=True, slots=True)
+class PowerOfTwoParams:
+    """P2C parameters."""
+
+    #: EWMA smoothing weight for the queue-size feedback estimate.
+    alpha: float = 0.9
+
+
+@register_strategy(
+    "P2C",
+    aliases=("POWER_OF_TWO",),
+    params=PowerOfTwoParams,
+    description="Power-of-two-choices: sample two replicas, pick the less loaded",
+    context_args=("rng",),
+)
 class PowerOfTwoSelector(StatefulSelector):
     """Sample two replicas, pick the less loaded one."""
 

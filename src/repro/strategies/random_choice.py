@@ -2,15 +2,29 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 import numpy as np
 
 from .base import StatefulSelector
+from .registry import register_strategy
 
-__all__ = ["RandomSelector"]
+__all__ = ["RandomParams", "RandomSelector"]
 
 
+@dataclass(frozen=True, slots=True)
+class RandomParams:
+    """Uniform-random selection has no tunable parameters."""
+
+
+@register_strategy(
+    "RAND",
+    aliases=("RANDOM",),
+    params=RandomParams,
+    description="Uniform-random replica choice (the paper's throwaway baseline)",
+    context_args=("rng",),
+)
 class RandomSelector(StatefulSelector):
     """Pick a replica uniformly at random."""
 

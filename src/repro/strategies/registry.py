@@ -1,0 +1,356 @@
+"""The strategy registry: every selector registers itself under a canonical name.
+
+Each strategy module declares a frozen *param dataclass* (defaults = the
+paper's values) and registers its selector class with
+:func:`register_strategy`::
+
+    @register_strategy(
+        "LRT",
+        aliases=("LEAST_RESPONSE_TIME",),
+        params=LRTParams,
+        description="Lowest smoothed response time",
+        context_args=("rng",),
+    )
+    class LeastResponseTimeSelector(StatefulSelector): ...
+
+Registration makes the strategy addressable everywhere a strategy name is
+accepted — ``SimulationConfig.strategy``, ``ClusterConfig.strategy``, sweep
+grids, and the CLI — including the parameterized spec syntax of
+:class:`~repro.strategies.spec.StrategySpec` (``"c3:cubic_c=2e-4"``).
+``STRATEGY_NAMES``, the factory aliases, and the CLI listing are all derived
+from this registry, so they can never drift apart.
+
+Unknown strategy names and unknown parameters are rejected with a
+closest-match ("did you mean …?") suggestion instead of surfacing as a deep
+``TypeError`` from an untyped ``**kwargs`` passthrough.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import math
+import types
+import typing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping
+
+import numpy as np
+
+from ..core.config import C3Config
+from .base import ReplicaSelector
+
+__all__ = [
+    "BuildContext",
+    "StrategyInfo",
+    "build_selector",
+    "get_strategy",
+    "register_strategy",
+    "resolve_params",
+    "resolve_strategy",
+    "strategy_names",
+]
+
+#: Callback returning ``(pending_requests, current_service_time_ms)`` for a server.
+ServerStateFn = Callable[[Hashable], tuple[float, float]]
+#: Callback returning a peer's most recently gossiped iowait fraction [0, 1].
+IowaitFn = Callable[[Hashable], float]
+
+
+@dataclass(frozen=True, slots=True)
+class BuildContext:
+    """Runtime dependencies the harness supplies when building a selector.
+
+    These are deliberately separate from strategy *parameters*: parameters
+    are declarative, sweepable and hashed into cache keys, while the context
+    carries live objects (RNG streams, ground-truth callbacks, the base
+    :class:`~repro.core.config.C3Config`) that only exist inside a run.
+    """
+
+    rng: np.random.Generator | None = None
+    server_state_fn: ServerStateFn | None = None
+    iowait_fn: IowaitFn | None = None
+    record_rate_history: bool = False
+    c3_config: C3Config | None = None
+
+
+#: Builder: (explicit params, context) -> selector instance.
+Factory = Callable[[Mapping[str, Any], BuildContext], ReplicaSelector]
+#: Optional early validation hook over the explicit (alias-resolved) params.
+Validator = Callable[[Mapping[str, Any]], None]
+
+
+@dataclass(frozen=True)
+class StrategyInfo:
+    """One registered strategy: canonical name, aliases, params, builder."""
+
+    name: str
+    aliases: tuple[str, ...]
+    params_cls: type
+    description: str
+    factory: Factory
+    param_aliases: Mapping[str, str] = field(default_factory=dict)
+    requires: tuple[str, ...] = ()
+    validate: Validator | None = None
+    selector_cls: type | None = None
+
+    def param_defaults(self) -> dict[str, Any]:
+        """``{field name: default value}`` of the param dataclass."""
+        instance = self.params_cls()
+        return {
+            f.name: getattr(instance, f.name) for f in dataclasses.fields(self.params_cls)
+        }
+
+    def aliases_for(self, field_name: str) -> tuple[str, ...]:
+        """Registered short-hand aliases mapping to ``field_name``, sorted."""
+        return tuple(
+            sorted(alias for alias, target in self.param_aliases.items() if target == field_name)
+        )
+
+
+_REGISTRY: dict[str, StrategyInfo] = {}
+#: Case-normalized name/alias token -> canonical name.
+_LOOKUP: dict[str, str] = {}
+
+
+def _normalize(token: str) -> str:
+    return token.strip().upper()
+
+
+def _register(info: StrategyInfo) -> None:
+    if info.name in _REGISTRY:
+        raise ValueError(f"strategy {info.name!r} is already registered")
+    tokens = {_normalize(info.name), *(_normalize(alias) for alias in info.aliases)}
+    for token in sorted(tokens):
+        owner = _LOOKUP.get(token)
+        if owner is not None:
+            raise ValueError(
+                f"strategy name/alias {token!r} is already registered by {owner!r}"
+            )
+    _REGISTRY[info.name] = info
+    for token in tokens:
+        _LOOKUP[token] = info.name
+
+
+def _default_factory(cls: type, context_args: tuple[str, ...]) -> Factory:
+    """Build ``cls(**param fields, **requested context attributes)``."""
+
+    def build(params: Mapping[str, Any], ctx: BuildContext) -> ReplicaSelector:
+        kwargs: dict[str, Any] = dict(params)
+        for arg in context_args:
+            kwargs[arg] = getattr(ctx, arg)
+        return cls(**kwargs)
+
+    return build
+
+
+def register_strategy(
+    name: str,
+    *,
+    aliases: tuple[str, ...] = (),
+    params: type,
+    description: str,
+    context_args: tuple[str, ...] = (),
+    param_aliases: Mapping[str, str] | None = None,
+    factory: Factory | None = None,
+    requires: tuple[str, ...] = (),
+    validate: Validator | None = None,
+) -> Callable[[type], type]:
+    """Class decorator registering a selector under ``name``.
+
+    Parameters
+    ----------
+    name:
+        Canonical strategy name (the paper's abbreviation, e.g. ``"C3"``).
+        Matching is case-insensitive everywhere.
+    aliases:
+        Alternate names accepted wherever a strategy is referenced.
+    params:
+        Frozen dataclass of the strategy's tunable parameters; field defaults
+        are the paper's values.
+    description:
+        One-line description for ``c3-repro strategies`` and the README table.
+    context_args:
+        :class:`BuildContext` attribute names forwarded to the constructor by
+        the default factory (ignored when ``factory`` is given).
+    param_aliases:
+        Short-hand parameter spellings (paper notation) mapped to field
+        names, e.g. ``{"cubic_c": "gamma"}``.
+    factory:
+        Custom builder ``(explicit_params, ctx) -> selector`` for strategies
+        whose parameters do not splat directly into the constructor.
+    requires:
+        Context attributes that must be non-None to build this strategy
+        (e.g. the oracle's ground-truth callback).
+    validate:
+        Optional hook raising ``ValueError`` for invalid *values* at spec
+        parse time (unknown names/keys are always rejected by the registry).
+    """
+    if not dataclasses.is_dataclass(params):
+        raise TypeError(f"params must be a dataclass, got {params!r}")
+
+    def decorator(cls: type) -> type:
+        resolved_aliases = dict(param_aliases or {})
+        field_names = {f.name for f in dataclasses.fields(params)}
+        bad = sorted(set(resolved_aliases.values()) - field_names)
+        if bad:
+            raise ValueError(f"param_aliases target unknown fields {bad} on {params.__name__}")
+        _register(
+            StrategyInfo(
+                name=name,
+                aliases=tuple(aliases),
+                params_cls=params,
+                description=description,
+                factory=factory or _default_factory(cls, tuple(context_args)),
+                param_aliases=resolved_aliases,
+                requires=tuple(requires),
+                validate=validate,
+                selector_cls=cls,
+            )
+        )
+        return cls
+
+    return decorator
+
+
+def strategy_names() -> tuple[str, ...]:
+    """Every registered canonical strategy name, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def get_strategy(name: str) -> StrategyInfo:
+    """The registration for a *canonical* name (KeyError when absent)."""
+    return _REGISTRY[name]
+
+
+def resolve_strategy(name: str) -> StrategyInfo:
+    """Look a strategy up by name or alias, case-insensitively.
+
+    Unknown names raise ``ValueError`` listing the valid names plus a
+    closest-match suggestion when one is plausible.
+    """
+    if not isinstance(name, str):
+        raise TypeError(f"strategy name must be a string, got {type(name).__name__}")
+    canonical = _LOOKUP.get(_normalize(name))
+    if canonical is None:
+        close = difflib.get_close_matches(_normalize(name), sorted(_LOOKUP), n=1)
+        hint = f"; did you mean {_LOOKUP[close[0]]!r}?" if close else ""
+        raise ValueError(
+            f"unknown strategy {name!r}; valid names: {', '.join(strategy_names())}{hint}"
+        )
+    return _REGISTRY[canonical]
+
+
+# ---------------------------------------------------------------------------
+# Parameter resolution: alias expansion, unknown-key rejection, type coercion.
+# ---------------------------------------------------------------------------
+
+
+def _type_hints(params_cls: type) -> dict[str, Any]:
+    # Evaluated lazily (modules use `from __future__ import annotations`).
+    return typing.get_type_hints(params_cls)
+
+
+def _accepted_types(hint: Any) -> tuple[set[type], bool]:
+    """The concrete types a field hint accepts, plus whether None is allowed."""
+    if hint is type(None):
+        return set(), True
+    origin = typing.get_origin(hint)
+    if origin is typing.Union or origin is types.UnionType:
+        accepted: set[type] = set()
+        allows_none = False
+        for arg in typing.get_args(hint):
+            arg_types, arg_none = _accepted_types(arg)
+            accepted |= arg_types
+            allows_none = allows_none or arg_none
+        return accepted, allows_none
+    return {hint}, False
+
+
+def _coerce(info: StrategyInfo, field_name: str, value: Any, hint: Any) -> Any:
+    """Coerce ``value`` to the field's annotated type or raise ``ValueError``."""
+    accepted, allows_none = _accepted_types(hint)
+    if value is None:
+        if allows_none:
+            return None
+        raise ValueError(
+            f"parameter {field_name!r} of strategy {info.name} does not accept null"
+        )
+    if bool in accepted and isinstance(value, bool):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; keep it out of numbers
+        raise ValueError(
+            f"parameter {field_name!r} of strategy {info.name} expects "
+            f"{_describe_types(accepted)}, got a boolean"
+        )
+    if float in accepted and isinstance(value, (int, float)):
+        # Non-finite values would break the canonical-string round trip
+        # (repr(nan)/repr(inf) are not JSON) and make no sense as knobs.
+        if not math.isfinite(value):
+            raise ValueError(
+                f"parameter {field_name!r} of strategy {info.name} must be finite, got {value!r}"
+            )
+        return float(value)
+    if int in accepted and isinstance(value, int):
+        return int(value)
+    if int in accepted and isinstance(value, float) and value.is_integer():
+        return int(value)
+    if str in accepted and isinstance(value, str):
+        return value
+    raise ValueError(
+        f"parameter {field_name!r} of strategy {info.name} expects "
+        f"{_describe_types(accepted)}, got {value!r}"
+    )
+
+
+def _describe_types(accepted: set[type]) -> str:
+    return " | ".join(sorted(t.__name__ for t in accepted)) or "nothing"
+
+
+def resolve_params(info: StrategyInfo, params: Mapping[str, Any]) -> dict[str, Any]:
+    """Validate and normalize explicit params for one strategy.
+
+    Aliases are expanded to canonical field names, unknown keys are rejected
+    with a did-you-mean suggestion, values are coerced to the annotated field
+    types, and entries equal to the registered default are dropped — so two
+    spellings of the same configuration normalize identically (and a bare
+    name stays a bare name).
+    """
+    fields_by_name = {f.name: f for f in dataclasses.fields(info.params_cls)}
+    hints = _type_hints(info.params_cls)
+    defaults = info.param_defaults()
+    valid = sorted(set(fields_by_name) | set(info.param_aliases))
+    resolved: dict[str, Any] = {}
+    for key, raw in params.items():
+        field_name = info.param_aliases.get(key, key)
+        if field_name not in fields_by_name:
+            close = difflib.get_close_matches(key, valid, n=1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            raise ValueError(
+                f"unknown parameter {key!r} for strategy {info.name}"
+                f" (valid parameters: {', '.join(valid) or '(none)'}){hint}"
+            )
+        if field_name in resolved:
+            raise ValueError(
+                f"parameter {field_name!r} of strategy {info.name} given more than once "
+                f"(an alias and its target, or a repeated key)"
+            )
+        resolved[field_name] = _coerce(info, field_name, raw, hints[field_name])
+    # Canonical form: a param explicitly set to its registered default is
+    # indistinguishable from an unset param (both mean "the paper's value").
+    normalized = {
+        name: value for name, value in resolved.items() if value != defaults[name]
+    }
+    if info.validate is not None:
+        info.validate(normalized)
+    return normalized
+
+
+def build_selector(spec: "Any", ctx: BuildContext | None = None) -> ReplicaSelector:
+    """Instantiate the selector described by a :class:`StrategySpec`."""
+    ctx = ctx or BuildContext()
+    info = resolve_strategy(spec.name)
+    for requirement in info.requires:
+        if getattr(ctx, requirement) is None:
+            raise ValueError(f"the {info.name} strategy requires {requirement}")
+    return info.factory(spec.params_dict, ctx)

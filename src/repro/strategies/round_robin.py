@@ -8,17 +8,63 @@ round-robin ordering.
 
 from __future__ import annotations
 
-from typing import Hashable, Sequence
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Sequence
 
 from ..core.backpressure import BackpressureQueues, BacklogEntry
 from ..core.config import C3Config
 from ..core.feedback import ServerFeedback
 from ..core.rate_control import PerServerRateControl
 from .base import ReplicaSelector, SelectorDecision
+from .registry import BuildContext, register_strategy
 
-__all__ = ["RoundRobinSelector"]
+__all__ = ["RoundRobinParams", "RoundRobinSelector"]
 
 
+@dataclass(frozen=True, slots=True)
+class RoundRobinParams:
+    """RR parameters: the rate-control ablation switch plus its CUBIC knobs.
+
+    ``None`` for a rate knob means "use the deployment's base C3 config"
+    (the same controllers C3 runs with, per §6).
+    """
+
+    rate_limited: bool = True
+    initial_rate: float | None = None
+    rate_delta_ms: float | None = None
+    beta: float | None = None
+    smax: float | None = None
+
+
+def _rr_config(params: Mapping[str, Any], base: C3Config | None) -> C3Config:
+    config = base or C3Config()
+    overrides = {
+        key: value
+        for key, value in params.items()
+        if key != "rate_limited" and value is not None
+    }
+    return config.copy(**overrides) if overrides else config
+
+
+def _validate_rr_params(params: Mapping[str, Any]) -> None:
+    _rr_config(params, None)
+
+
+def _build_round_robin(params: Mapping[str, Any], ctx: BuildContext) -> "RoundRobinSelector":
+    return RoundRobinSelector(
+        config=_rr_config(params, ctx.c3_config),
+        rate_limited=bool(params.get("rate_limited", True)),
+    )
+
+
+@register_strategy(
+    "RR",
+    aliases=("ROUND_ROBIN",),
+    params=RoundRobinParams,
+    description="Round-robin ordering with C3's per-server rate limiting and backpressure",
+    factory=_build_round_robin,
+    validate=_validate_rr_params,
+)
 class RoundRobinSelector(ReplicaSelector):
     """Round-robin ordering with per-server rate limiting and backpressure.
 

@@ -1,0 +1,189 @@
+"""The canonical, parameterized strategy specification.
+
+A :class:`StrategySpec` is ``(strategy name, explicit parameter overrides)``
+in a *canonical* form:
+
+* the name is the registry's canonical name (``"c3"`` → ``"C3"``);
+* parameter aliases are expanded (``cubic_c`` → ``gamma``) and values are
+  coerced to the registered field types;
+* parameters equal to the registered default (the paper's value) are
+  dropped, so every spelling of the same configuration — ``"c3"``,
+  ``"C3:score_exponent=3"``, ``{"name": "c3"}`` — normalizes to the same
+  spec, the same canonical string, and the same digest.  (Corollary:
+  "explicitly set to the default" and "unset" are indistinguishable, so a
+  default-valued param cannot override a non-default base ``c3_config`` —
+  put every intended override in the spec itself.)
+
+Specs parse from strings (``"c3"``, ``"c3:cubic_c=4e-4,b=3"``), from
+mappings (``{"name": "c3", "params": {"beta": 0.5}}``), and from other
+specs; :meth:`canonical` formats back to the string grammar so
+``parse(spec.canonical()) == spec`` always holds.  The canonical string is
+what :class:`~repro.simulator.simulation.SimulationConfig` stores, hashes
+into sweep cache keys, and prints in reports — bare strategy names stay
+byte-identical to the pre-registry era.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..core.config import C3Config
+from .base import ReplicaSelector
+from .registry import (
+    BuildContext,
+    IowaitFn,
+    ServerStateFn,
+    build_selector,
+    resolve_params,
+    resolve_strategy,
+)
+
+__all__ = ["StrategySpec"]
+
+
+def _parse_value(raw: str) -> Any:
+    """A spec-string parameter value: JSON scalar, falling back to string."""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        return raw
+
+
+def _format_value(value: Any) -> str:
+    """Format one canonical param value so that parsing round-trips it."""
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)  # shortest repr; json.loads round-trips it exactly
+    if isinstance(value, int):
+        return str(value)
+    text = str(value)
+    if any(sep in text for sep in (",", "=", ":")) or text != text.strip():
+        raise ValueError(f"cannot format parameter value {value!r} in spec syntax")
+    return text
+
+
+def _parse_string(text: str) -> tuple[str, dict[str, Any]]:
+    name, sep, param_text = text.partition(":")
+    if not name.strip():
+        raise ValueError(f"strategy spec {text!r} has an empty name")
+    if not sep:
+        return name, {}
+    params: dict[str, Any] = {}
+    if not param_text.strip():
+        raise ValueError(f"strategy spec {text!r} has a ':' but no parameters")
+    for pair in param_text.split(","):
+        key, eq, raw = pair.partition("=")
+        key = key.strip()
+        if not eq or not key:
+            raise ValueError(
+                f"malformed parameter {pair.strip()!r} in strategy spec {text!r}; "
+                f"expected KEY=VALUE"
+            )
+        if key in params:
+            raise ValueError(f"parameter {key!r} repeated in strategy spec {text!r}")
+        params[key] = _parse_value(raw.strip())
+    return name, params
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """A validated, canonical ``(strategy, parameters)`` pair.
+
+    Construct via :meth:`parse` (or :meth:`of`); the constructor itself does
+    not validate, so hand-built instances bypass canonicalization.
+    ``params`` is a sorted tuple of ``(field name, value)`` pairs holding
+    only the *explicit, non-default* overrides.
+    """
+
+    name: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def parse(cls, value: "str | Mapping[str, Any] | StrategySpec") -> "StrategySpec":
+        """Parse and canonicalize a strategy reference of any accepted form."""
+        if isinstance(value, StrategySpec):
+            return cls.of(value.name, value.params_dict)
+        if isinstance(value, str):
+            name, params = _parse_string(value)
+            return cls.of(name, params)
+        if isinstance(value, Mapping):
+            unknown = sorted(set(value) - {"name", "params"})
+            if unknown:
+                raise ValueError(
+                    f"unknown keys {unknown} in strategy mapping; expected "
+                    f"{{'name': ..., 'params': {{...}}}}"
+                )
+            if "name" not in value:
+                raise ValueError("strategy mapping needs a 'name' key")
+            return cls.of(value["name"], dict(value.get("params") or {}))
+        raise TypeError(
+            f"cannot parse a strategy from {type(value).__name__}; "
+            f"expected str, mapping, or StrategySpec"
+        )
+
+    @classmethod
+    def of(cls, name: str, params: Mapping[str, Any] | None = None) -> "StrategySpec":
+        """Build a canonical spec from a name and explicit params."""
+        info = resolve_strategy(name)
+        resolved = resolve_params(info, dict(params or {}))
+        return cls(name=info.name, params=tuple(sorted(resolved.items())))
+
+    # ------------------------------------------------------------- inspection
+    @property
+    def params_dict(self) -> dict[str, Any]:
+        """The explicit overrides as a plain dict."""
+        return dict(self.params)
+
+    def canonical(self) -> str:
+        """The canonical string form (parses back to an equal spec)."""
+        if not self.params:
+            return self.name
+        rendered = ",".join(f"{key}={_format_value(value)}" for key, value in self.params)
+        return f"{self.name}:{rendered}"
+
+    def digest(self) -> str:
+        """A stable content digest of the canonical spec.
+
+        Two references to the same strategy configuration — whatever their
+        spelling — share a digest; any parameter change produces a new one.
+        This is what keeps runner cache keys and golden digests deterministic
+        across refactors of the spec grammar.
+        """
+        payload = json.dumps(
+            {"name": self.name, "params": self.params_dict},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+    # ------------------------------------------------------------------ build
+    def build(
+        self,
+        *,
+        rng: np.random.Generator | None = None,
+        server_state_fn: ServerStateFn | None = None,
+        iowait_fn: IowaitFn | None = None,
+        record_rate_history: bool = False,
+        c3_config: C3Config | None = None,
+    ) -> ReplicaSelector:
+        """Instantiate this spec's selector with the given runtime context."""
+        ctx = BuildContext(
+            rng=rng,
+            server_state_fn=server_state_fn,
+            iowait_fn=iowait_fn,
+            record_rate_history=record_rate_history,
+            c3_config=c3_config,
+        )
+        return build_selector(self, ctx)

@@ -9,19 +9,45 @@ requests, or smoothed response time).
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Hashable, Sequence
+from dataclasses import dataclass
+from typing import Any, Hashable, Mapping, Sequence
 
 import numpy as np
 
 from ..core.ewma import EWMA
 from ..core.feedback import ServerFeedback
 from .base import StatefulSelector
+from .registry import register_strategy
 
-__all__ = ["WeightedRandomSelector"]
+__all__ = ["WeightedRandomParams", "WeightedRandomSelector"]
 
 _VALID_SIGNALS = ("outstanding", "queue", "response_time")
 
 
+@dataclass(frozen=True, slots=True)
+class WeightedRandomParams:
+    """WRAND parameters."""
+
+    #: Cost signal to weight by: ``outstanding`` / ``queue`` / ``response_time``.
+    signal: str = "outstanding"
+    #: EWMA smoothing weight for the feedback-based signals.
+    alpha: float = 0.9
+
+
+def _validate_wrand_params(params: Mapping[str, Any]) -> None:
+    signal = params.get("signal", "outstanding")
+    if signal not in _VALID_SIGNALS:
+        raise ValueError(f"signal must be one of {_VALID_SIGNALS}, got {signal!r}")
+
+
+@register_strategy(
+    "WRAND",
+    aliases=("WEIGHTED_RANDOM",),
+    params=WeightedRandomParams,
+    description="Random choice weighted inversely to an estimated per-replica cost",
+    context_args=("rng",),
+    validate=_validate_wrand_params,
+)
 class WeightedRandomSelector(StatefulSelector):
     """Choose replicas randomly with weights inverse to their estimated cost.
 

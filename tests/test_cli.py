@@ -130,3 +130,71 @@ class TestScaleMode:
         )
         assert code == 0
         assert "pooled p99.9" in capsys.readouterr().out
+
+
+class TestStrategyRegistryCLI:
+    def test_strategies_subcommand_lists_registry(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        # Canonical names, aliases, and param defaults all come from the
+        # registry — including the paper-notation param aliases.
+        for name in ("C3", "ORA", "LOR", "RR", "RAND", "LRT", "P2C", "WRAND", "DS"):
+            assert name in out
+        assert "DYNAMIC_SNITCH" in out
+        assert "gamma (cubic_c)" in out
+        assert "score_exponent (b)" in out
+        assert "spec grammar" in out
+
+    def test_simulate_accepts_param_spec(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--strategy", "c3:cubic_c=2e-4",
+                "--servers", "9",
+                "--clients", "8",
+                "--requests", "200",
+            ]
+        )
+        assert code == 0
+        assert "C3:gamma=0.0002" in capsys.readouterr().out
+
+    def test_simulate_rejects_unknown_strategy_cleanly(self, capsys):
+        assert main(["simulate", "--strategy", "c33", "--requests", "10"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown strategy" in err and "did you mean 'C3'" in err
+
+    def test_simulate_rejects_unknown_param_cleanly(self, capsys):
+        assert main(["simulate", "--strategy", "c3:cubicc=1e-4", "--requests", "10"]) == 2
+        assert "did you mean 'cubic_c'" in capsys.readouterr().err
+
+    def test_cluster_rejects_unknown_strategy_cleanly(self, capsys):
+        assert main(["cluster", "--strategy", "bogus", "--duration", "50"]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_sweep_over_strategy_params(self, capsys, tmp_path):
+        args = [
+            "sweep",
+            "--strategy", "c3:cubic_c=2e-4",
+            "--strategy", "c3:cubic_c=8e-4",
+            "--utilization", "0.6",
+            "--servers", "9",
+            "--clients", "8",
+            "--requests", "150",
+            "--num-seeds", "2",
+            "--serial",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        # Two parameterizations of one strategy are two grid points, each
+        # pooled/aggregated separately under its canonical spec string.
+        assert "2 strategy" in first
+        assert "C3:gamma=0.0002" in first and "C3:gamma=0.0008" in first
+        assert "4 executed, 0 from cache" in first
+        # The canonical spec is the cache identity: a rerun is fully cached.
+        assert main(args) == 0
+        assert "0 executed, 4 from cache" in capsys.readouterr().out
+
+    def test_sweep_rejects_unknown_param_cleanly(self, capsys):
+        assert main(["sweep", "--strategy", "c3:bogus=1", "--serial"]) == 2
+        assert "unknown parameter 'bogus'" in capsys.readouterr().err
