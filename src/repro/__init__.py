@@ -7,6 +7,8 @@ The package is organised as:
   backpressure, scheduling), usable standalone.
 * :mod:`repro.strategies`  — C3 plus every baseline selector (LOR, RR, ORA,
   Dynamic Snitching, …) behind one interface.
+* :mod:`repro.controls`    — orthogonal control-plane policies (failure
+  detection, hedged requests, rate control) behind a spec registry.
 * :mod:`repro.simulator`   — the flat discrete-event simulator of §6.
 * :mod:`repro.cluster`     — a Cassandra-like cluster substrate for the §2/§5
   experiments (token ring, coordinators, disks, gossip, snitching).
@@ -15,6 +17,11 @@ The package is organised as:
 * :mod:`repro.experiments` — one module per paper figure/table.
 """
 
+from .controls import (
+    ControlSpec,
+    control_names,
+    register_control,
+)
 from .core import (
     C3Config,
     C3Scheduler,
@@ -47,6 +54,7 @@ __version__ = "1.0.0"
 __all__ = [
     "C3Config",
     "C3Scheduler",
+    "ControlSpec",
     "CubicRateController",
     "DemandSkew",
     "EWMA",
@@ -59,9 +67,11 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "StrategySpec",
+    "control_names",
     "cubic_rate",
     "cubic_score",
     "make_selector",
+    "register_control",
     "register_strategy",
     "run_simulation",
     "strategy_names",

@@ -23,6 +23,11 @@ Sub-commands
     List the registered replica-selection strategies — canonical names,
     aliases, and their parameters with defaults — plus the spec grammar
     accepted by every ``--strategy`` flag (``"c3:cubic_c=2e-4,b=3"``).
+``controls``
+    List the registered adaptive controls — failure detectors, hedging
+    policies, and rate controllers — with their parameters and defaults;
+    the same spec grammar powers every ``--failure-detector`` and
+    ``--hedging`` flag (``"phi:threshold=8"``, ``"hedge:quantile=0.95"``).
 ``scale``
     Smoke-test scale mode: run one large streaming-metrics simulation
     (fixed-memory histograms instead of per-request latency lists) and
@@ -42,6 +47,7 @@ from . import __version__
 from .analysis.histogram import quantile_within_bound
 from .analysis.report import format_table
 from .cluster import ClusterConfig, run_cluster
+from .controls import control_names, get_control, kind_label
 from .experiments import list_experiments, registry, run_experiment
 from .runner import SweepRunner, SweepSpec, seed_range
 from .scenarios import get_scenario, scenario_names
@@ -73,9 +79,19 @@ def build_parser() -> argparse.ArgumentParser:
         "strategy name or parameterized spec, e.g. C3 or \"c3:cubic_c=2e-4,b=3\" "
         "(see `c3-repro strategies`)"
     )
+    detector_help = (
+        "failure-detector control spec, e.g. binary or \"phi:threshold=8\" "
+        "(see `c3-repro controls`)"
+    )
+    hedging_help = (
+        "hedging control spec, e.g. \"hedge:quantile=0.95,max_extra=1\" "
+        "(see `c3-repro controls`; default: no hedging)"
+    )
 
     sim_parser = sub.add_parser("simulate", help="run one flat-simulator scenario")
     sim_parser.add_argument("--strategy", default="C3", help=strategy_help)
+    sim_parser.add_argument("--failure-detector", default="binary", help=detector_help)
+    sim_parser.add_argument("--hedging", default=None, help=hedging_help)
     sim_parser.add_argument("--servers", type=int, default=50)
     sim_parser.add_argument("--clients", type=int, default=150)
     sim_parser.add_argument("--requests", type=int, default=10_000)
@@ -97,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     cluster_parser = sub.add_parser("cluster", help="run one cluster scenario")
     cluster_parser.add_argument("--strategy", default="C3", help=strategy_help)
+    cluster_parser.add_argument("--hedging", default=None, help=hedging_help)
     cluster_parser.add_argument("--nodes", type=int, default=15)
     cluster_parser.add_argument("--generators", type=int, default=60)
     cluster_parser.add_argument("--duration", type=float, default=2_000.0, help="duration (ms)")
@@ -125,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario to grid over (repeatable; see `c3-repro scenarios`; "
              "default: legacy fluctuation fields, no scenario dimension)",
     )
+    sweep_parser.add_argument(
+        "--failure-detector", action="append", dest="failure_detectors", metavar="SPEC",
+        help=f"failure detector to grid over — {detector_help} (repeatable; "
+             "default: binary, no detector dimension)",
+    )
+    sweep_parser.add_argument(
+        "--hedging", action="append", dest="hedging_specs", metavar="SPEC",
+        help=f"hedging policy to grid over — {hedging_help.replace('default: no hedging', 'repeatable')}; "
+             "the literal value 'none' grids an unhedged point",
+    )
     sweep_parser.add_argument("--servers", type=int, default=10)
     sweep_parser.add_argument("--clients", type=int, default=40)
     sweep_parser.add_argument("--requests", type=int, default=2_000, help="requests per trial")
@@ -148,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "strategies",
         help="list registered replica-selection strategies, aliases, and parameters",
+    )
+
+    sub.add_parser(
+        "controls",
+        help="list registered adaptive controls (detectors, hedging, rate) and parameters",
     )
 
     scale_parser = sub.add_parser(
@@ -240,6 +272,36 @@ def _cmd_strategies() -> int:
     return 0
 
 
+def _cmd_controls() -> int:
+    rows = []
+    for name in control_names():
+        info = get_control(name)
+        rendered = []
+        for field_name, default in info.param_defaults().items():
+            aliases = info.aliases_for(field_name)
+            label = f"{field_name} ({', '.join(aliases)})" if aliases else field_name
+            rendered.append(f"{label}={default!r}")
+        rows.append(
+            [
+                name,
+                kind_label(info.kind),
+                ", ".join(info.aliases) or "-",
+                info.description,
+                ", ".join(rendered) or "-",
+            ]
+        )
+    print(format_table(["control", "kind", "aliases", "description", "params (defaults)"], rows))
+    print()
+    print(
+        "spec grammar: NAME[:param=value,...] — the same grammar as strategies; "
+        "e.g. --failure-detector \"phi:threshold=8\" or --hedging "
+        "\"hedge:quantile=0.95,max_extra=1\". Defaults (binary detection, no "
+        "hedging) reproduce the legacy simulator byte-for-byte; any selection x "
+        "detection x hedging combination is a valid sweep point."
+    )
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = {}
     if args.scenario is not None:
@@ -280,6 +342,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             scenario=args.scenario,
             scenario_params=_parse_scenario_params(args.scenario_params),
             metrics_mode=args.metrics_mode,
+            failure_detector=args.failure_detector,
+            hedging=args.hedging,
         )
     except ValueError as error:
         # Malformed KEY=VALUE pairs, unknown scenario knobs, and invalid
@@ -302,6 +366,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             workload_mix=args.mix,
             disk=args.disk,
             strategy=args.strategy,
+            hedging=args.hedging,
             seed=args.seed,
         )
     except ValueError as error:
@@ -330,6 +395,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(error, file=sys.stderr)
             return 2
         grid["scenario"] = tuple(args.scenarios)
+    if args.failure_detectors:
+        grid["failure_detector"] = tuple(args.failure_detectors)
+    if args.hedging_specs:
+        # The literal "none" grids an unhedged point alongside hedged ones.
+        grid["hedging"] = tuple(
+            None if value.lower() == "none" else value for value in args.hedging_specs
+        )
     try:
         # SweepSpec canonicalizes the strategy axis (bare names and
         # parameterized specs alike) and rejects unknown strategies or
@@ -361,6 +433,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "utilization": "util",
         "fluctuation_interval_ms": "interval (ms)",
         "scenario": "scenario",
+        "failure_detector": "detector",
+        "hedging": "hedging",
     }
     grid_keys = list(grid)
     streaming = args.metrics_mode == "streaming"
@@ -368,7 +442,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     for point in result.aggregates():
         metrics = point.metrics
         row = (
-            [point.params[key] for key in grid_keys]
+            [point.params[key] if point.params[key] is not None else "-" for key in grid_keys]
             + [
                 point.n,
                 str(metrics["mean"]),
@@ -465,6 +539,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_scenarios()
     if args.command == "strategies":
         return _cmd_strategies()
+    if args.command == "controls":
+        return _cmd_controls()
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "simulate":

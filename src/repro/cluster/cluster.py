@@ -14,6 +14,7 @@ from typing import Any, Hashable, Mapping
 
 import numpy as np
 
+from ..controls import ControlSpec
 from ..core.config import C3Config
 from ..simulator.engine import EventLoop
 from ..simulator.network import ConstantLatency, NetworkModel
@@ -79,6 +80,12 @@ class ClusterConfig:
     names, parameterized spec strings, mappings, or a
     :class:`~repro.strategies.StrategySpec` — and is normalized to the
     canonical spec string at construction.
+
+    Hedged reads can be configured two equivalent ways:
+    ``speculative_retry_percentile`` (the legacy Cassandra-style spelling,
+    e.g. ``99.0``) or ``hedging`` (a control spec such as
+    ``"hedge:quantile=0.99"``, which additionally exposes ``max_extra``).
+    Setting both is an error.
     """
 
     num_nodes: int = 15
@@ -97,6 +104,7 @@ class ClusterConfig:
     zipf_theta: float = 0.99
     read_repair_probability: float = 0.1
     speculative_retry_percentile: float | None = None
+    hedging: "str | Mapping[str, Any] | ControlSpec | None" = None
     network_delay_ms: float = 0.25
     gossip_interval_ms: float = 1_000.0
     compaction_enabled: bool = True
@@ -112,6 +120,13 @@ class ClusterConfig:
 
     def __post_init__(self) -> None:
         self.strategy = StrategySpec.parse(self.strategy).canonical()
+        if self.hedging is not None:
+            if self.speculative_retry_percentile is not None:
+                raise ValueError(
+                    "speculative_retry_percentile and hedging configure the same "
+                    "mechanism; set only one"
+                )
+            self.hedging = ControlSpec.parse(self.hedging, kind="hedge").canonical()
         if self.num_nodes < self.replication_factor:
             raise ValueError("num_nodes must be >= replication_factor")
         if self.duration_ms <= 0:
@@ -130,6 +145,13 @@ class ClusterConfig:
     def strategy_spec(self) -> StrategySpec:
         """The canonical :class:`StrategySpec` of this run's strategy."""
         return StrategySpec.parse(self.strategy)
+
+    @property
+    def hedging_spec(self) -> ControlSpec | None:
+        """The canonical :class:`ControlSpec` of the hedging policy, if any."""
+        if self.hedging is None:
+            return None
+        return ControlSpec.parse(self.hedging, kind="hedge")
 
     def groups(self) -> list[GeneratorGroup]:
         """The generator groups (a single default group when none given)."""
@@ -184,6 +206,7 @@ class CassandraCluster:
 
         c3_config = cfg.c3_config or C3Config().with_clients(cfg.num_nodes)
         strategy_spec = cfg.strategy_spec
+        hedging_spec = cfg.hedging_spec
         spec_policy = None
         for node_id in self.node_ids:
             selector = strategy_spec.build(
@@ -195,6 +218,8 @@ class CassandraCluster:
             )
             if cfg.speculative_retry_percentile is not None:
                 spec_policy = SpeculativeRetryPolicy(percentile=cfg.speculative_retry_percentile)
+            elif hedging_spec is not None:
+                spec_policy = hedging_spec.build()
             coordinator = Coordinator(
                 loop=self.loop,
                 node_id=node_id,
@@ -204,7 +229,7 @@ class CassandraCluster:
                 network=self.network,
                 metrics=self.metrics,
                 read_repair_probability=cfg.read_repair_probability,
-                speculative_retry=spec_policy if cfg.speculative_retry_percentile is not None else None,
+                speculative_retry=spec_policy,
                 rng=np.random.default_rng(self.rng.integers(2**63)),
             )
             spec_policy = None

@@ -10,12 +10,12 @@ replicas, and optionally speculatively retries slow reads.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping
 
 import numpy as np
 
+from ..controls.hedging import QuantileHedging
 from ..core.feedback import ServerFeedback
 from ..simulator.engine import Event, EventLoop
 from ..simulator.network import NetworkModel
@@ -34,12 +34,19 @@ _MIN_RETRY_MS = 0.1
 _LOCAL_DELAY_MS = 0.02
 
 
-class SpeculativeRetryPolicy:
+class SpeculativeRetryPolicy(QuantileHedging):
     """Cassandra-style percentile speculative retry.
 
     After dispatching a read, the coordinator waits until the configured
     percentile of recently observed read latencies before re-issuing the read
     to a different replica (§5 "Comparison against request reissues").
+
+    This is the legacy, percentile-spelled face of the generalized
+    :class:`~repro.controls.hedging.QuantileHedging` policy:
+    ``SpeculativeRetryPolicy(percentile=p)`` is exactly
+    ``QuantileHedging(quantile=p / 100, max_extra=1)``.  (``p / 100`` and
+    ``quantile * 100`` are both exact for the percentiles in use, so the
+    estimated thresholds — and therefore pinned digests — are unchanged.)
 
     Parameters
     ----------
@@ -56,19 +63,13 @@ class SpeculativeRetryPolicy:
             raise ValueError("percentile must be in (0, 100)")
         if min_samples < 1 or history < min_samples:
             raise ValueError("invalid sample window configuration")
+        super().__init__(
+            quantile=float(percentile) / 100.0,
+            max_extra=1,
+            min_samples=min_samples,
+            history=history,
+        )
         self.percentile = float(percentile)
-        self.min_samples = int(min_samples)
-        self._window: deque[float] = deque(maxlen=int(history))
-
-    def record(self, latency_ms: float) -> None:
-        """Fold one observed read latency into the estimate."""
-        self._window.append(float(latency_ms))
-
-    def threshold_ms(self) -> float | None:
-        """Current speculation threshold, or ``None`` while warming up."""
-        if len(self._window) < self.min_samples:
-            return None
-        return float(np.percentile(np.asarray(self._window), self.percentile))
 
 
 @dataclass(slots=True)
@@ -84,7 +85,13 @@ class _PendingOperation:
     copy_ids: set = field(default_factory=set)
     completed: bool = False
     speculation_event: Event | None = None
-    speculated: bool = False
+    speculations: int = 0
+    speculation_targets: set = field(default_factory=set)
+
+    @property
+    def speculated(self) -> bool:
+        """Whether at least one speculative copy has been issued."""
+        return self.speculations > 0
 
 
 class Coordinator:
@@ -104,7 +111,10 @@ class Coordinator:
     read_repair_probability:
         Fraction of reads duplicated to every replica (Cassandra default 0.1).
     speculative_retry:
-        Optional :class:`SpeculativeRetryPolicy`.
+        Optional hedging policy — any
+        :class:`~repro.controls.hedging.QuantileHedging` (of which the
+        legacy :class:`SpeculativeRetryPolicy` is a subclass); its
+        ``max_extra`` bounds the extra copies issued per read.
     rng:
         Random generator.
     """
@@ -119,7 +129,7 @@ class Coordinator:
         network: NetworkModel,
         metrics: ClusterMetrics,
         read_repair_probability: float = 0.1,
-        speculative_retry: SpeculativeRetryPolicy | None = None,
+        speculative_retry: QuantileHedging | None = None,
         rng: np.random.Generator | None = None,
     ) -> None:
         if not 0.0 <= read_repair_probability <= 1.0:
@@ -216,6 +226,8 @@ class Coordinator:
     def _maybe_schedule_speculation(self, pending: _PendingOperation) -> None:
         if self.speculative_retry is None or not pending.is_read:
             return
+        if pending.speculations >= self.speculative_retry.max_extra:
+            return
         threshold = self.speculative_retry.threshold_ms()
         if threshold is None:
             return
@@ -223,14 +235,19 @@ class Coordinator:
 
     def _speculate(self, op_id: int) -> None:
         pending = self._pending.get(op_id)
-        if pending is None or pending.completed or pending.speculated:
+        if pending is None or pending.completed:
             return
-        pending.speculated = True
+        policy = self.speculative_retry
+        if policy is None or pending.speculations >= policy.max_extra:
+            return
+        pending.speculations += 1
         primary = pending.primary
-        candidates = [nid for nid in primary.replica_group if nid != primary.server_id]
+        exclude = {primary.server_id} | pending.speculation_targets
+        candidates = [nid for nid in primary.replica_group if nid not in exclude]
         if not candidates:
             return
         target = candidates[int(self.rng.integers(len(candidates)))]
+        pending.speculation_targets.add(target)
         duplicate = self._make_copy(primary, RequestKind.SPECULATIVE)
         pending.copy_ids.add(duplicate.request_id)
         self._pending_by_copy[duplicate.request_id] = pending
@@ -238,6 +255,11 @@ class Coordinator:
         self.speculations_fired += 1
         self.selector.on_duplicate_send(target, self.loop.now)
         self._dispatch(duplicate, target)
+        # With max_extra > 1 the hedge timer re-arms for the next extra copy.
+        if pending.speculations < policy.max_extra:
+            threshold = policy.threshold_ms()
+            if threshold is not None:
+                pending.speculation_event = self.loop.schedule(threshold, self._speculate, op_id)
 
     # -------------------------------------------------------------------- writes
     def _execute_write(self, request: Request, pending: _PendingOperation) -> None:

@@ -15,19 +15,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from .cubic import gamma_for_saddle
+
 __all__ = ["C3Config"]
-
-
-def _default_gamma(saddle_ms: float, beta: float, initial_rate: float) -> float:
-    """Pick gamma so that the saddle region spans roughly ``saddle_ms``.
-
-    The cubic growth curve ``rate(ΔT) = γ(ΔT − (βR0/γ)^(1/3))³ + R0`` has its
-    inflection ("saddle") centred at ``ΔT* = (βR0/γ)^(1/3)``.  Choosing
-    ``γ = βR0 / (saddle/2)³`` puts the inflection at ``saddle/2`` so the flat
-    region straddles roughly ``saddle_ms`` around it.
-    """
-    half = max(saddle_ms, 1e-9) / 2.0
-    return beta * max(initial_rate, 1e-9) / (half**3)
 
 
 @dataclass(slots=True)
@@ -146,7 +136,7 @@ class C3Config:
         if self.gamma is not None:
             return self.gamma
         rate = self.initial_rate if saturation_rate is None else saturation_rate
-        return _default_gamma(self.saddle_duration_ms, self.beta, rate)
+        return gamma_for_saddle(self.saddle_duration_ms, self.beta, rate)
 
     def with_clients(self, n_clients: int) -> "C3Config":
         """Return a copy whose concurrency weight equals ``n_clients``.

@@ -1,0 +1,78 @@
+"""The CUBIC growth law — the single home of its formulas and constants.
+
+Every module that reasons about the cubic rate-adaptation curve
+
+    rate(ΔT) = γ · (ΔT − (β·R0/γ)^(1/3))³ + R0
+
+must agree on two derived quantities: the inflection point ("saddle centre")
+``ΔT* = (β·R0/γ)^(1/3)`` and its inverse, the γ that places the inflection at
+a chosen ΔT*.  Those formulas used to be re-derived independently in
+``core/rate_control`` (growth curve), ``core/config`` (default-γ selection)
+and ``experiments/fig05_cubic_curve`` (region boundaries) — three copies of
+the same algebra that could drift apart silently.  They now live here, and a
+cross-module equivalence test pins all consumers to this implementation.
+
+The paper's default constants (§4) are also exported so callers never
+hard-code them.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "DEFAULT_BETA",
+    "DEFAULT_SADDLE_MS",
+    "DEFAULT_SMAX",
+    "cubic_inflection_ms",
+    "cubic_rate",
+    "gamma_for_saddle",
+]
+
+#: Multiplicative-decrease factor β (§4).
+DEFAULT_BETA = 0.2
+#: Desired saddle-region length of the cubic curve, in ms (§4: "~100 ms").
+DEFAULT_SADDLE_MS = 100.0
+#: Cap on a single rate-increase step, in requests per δ window (§4).
+DEFAULT_SMAX = 10.0
+
+
+def cubic_inflection_ms(saturation_rate: float, beta: float, gamma: float) -> float:
+    """ΔT* = (β·R0/γ)^(1/3): where the cubic's saddle region is centred.
+
+    At ``ΔT = ΔT*`` the curve crosses the last-known saturation rate R0 with
+    zero second derivative — the flat "saddle" of Figure 5 straddles it.
+    """
+    if gamma <= 0:
+        raise ValueError("gamma must be positive")
+    if saturation_rate < 0:
+        raise ValueError("saturation_rate must be non-negative")
+    return (beta * saturation_rate / gamma) ** (1.0 / 3.0)
+
+
+def cubic_rate(elapsed_ms: float, saturation_rate: float, beta: float, gamma: float) -> float:
+    """Evaluate the cubic growth curve.
+
+    Parameters
+    ----------
+    elapsed_ms:
+        ΔT — time since the last rate-decrease event, in milliseconds.
+    saturation_rate:
+        R0 — the sending rate at the time of the last decrease.
+    beta:
+        Multiplicative decrease factor.
+    gamma:
+        Scaling factor controlling the saddle length.
+    """
+    inflection = cubic_inflection_ms(saturation_rate, beta, gamma)
+    return gamma * (elapsed_ms - inflection) ** 3 + saturation_rate
+
+
+def gamma_for_saddle(saddle_ms: float, beta: float, saturation_rate: float) -> float:
+    """The γ that centres the saddle at ``saddle_ms / 2`` — the inverse of
+    :func:`cubic_inflection_ms`.
+
+    Solving ``(β·R0/γ)^(1/3) = saddle/2`` for γ gives
+    ``γ = β·R0 / (saddle/2)³``, so the flat region straddles roughly
+    ``saddle_ms`` around the inflection.
+    """
+    half = max(saddle_ms, 1e-9) / 2.0
+    return beta * max(saturation_rate, 1e-9) / (half**3)

@@ -25,37 +25,17 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from .config import C3Config
+from .cubic import cubic_inflection_ms, cubic_rate
 from .ewma import EWMA
 
 __all__ = [
+    "cubic_inflection_ms",
     "cubic_rate",
     "RateLimiter",
     "ReceiveRateTracker",
     "CubicRateController",
     "PerServerRateControl",
 ]
-
-
-def cubic_rate(elapsed_ms: float, saturation_rate: float, beta: float, gamma: float) -> float:
-    """Evaluate the cubic growth curve.
-
-    Parameters
-    ----------
-    elapsed_ms:
-        ΔT — time since the last rate-decrease event, in milliseconds.
-    saturation_rate:
-        R0 — the sending rate at the time of the last decrease.
-    beta:
-        Multiplicative decrease factor.
-    gamma:
-        Scaling factor controlling the saddle length.
-    """
-    if gamma <= 0:
-        raise ValueError("gamma must be positive")
-    if saturation_rate < 0:
-        raise ValueError("saturation_rate must be non-negative")
-    inflection = (beta * saturation_rate / gamma) ** (1.0 / 3.0)
-    return gamma * (elapsed_ms - inflection) ** 3 + saturation_rate
 
 
 class RateLimiter:

@@ -66,6 +66,8 @@ def run_scenario_comparison(
     seeds: Sequence[int],
     runner: SweepRunner | None = None,
     reference: str = "baseline",
+    failure_detector: str = "binary",
+    hedging: str | None = None,
 ) -> dict[tuple[str, str], dict]:
     """Sweep ``{reference, scenario} × strategies`` and aggregate per point.
 
@@ -76,6 +78,12 @@ def run_scenario_comparison(
     Returns ``{(scenario, strategy): {median, p99, p999, throughput_rps}}``.
     ``scenario == reference`` degenerates to a single-scenario sweep rather
     than running the reference twice.
+
+    ``failure_detector`` and ``hedging`` (control specs, see
+    :mod:`repro.controls`) apply to every point of the grid — e.g.
+    ``failure_detector="phi:threshold=8"`` reruns a crash-recovery
+    comparison with phi-accrual suspicion instead of ground-truth crash
+    knowledge.  The defaults reproduce the legacy sweep byte-for-byte.
     """
     base = SimulationConfig(
         num_servers=num_servers,
@@ -83,6 +91,8 @@ def run_scenario_comparison(
         num_requests=num_requests,
         utilization=utilization,
         fluctuation_enabled=False,
+        failure_detector=failure_detector,
+        hedging=hedging,
     )
     scenarios = (reference,) if scenario == reference else (reference, scenario)
     grid = {"scenario": scenarios, "strategy": tuple(strategies)}

@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.config import C3Config
-from ..core.rate_control import cubic_rate
+from ..core.rate_control import cubic_inflection_ms, cubic_rate
 from ..strategies import StrategySpec, c3_config_from_params
 from .base import ExperimentResult, registry
 
@@ -35,7 +35,7 @@ def region_boundaries(saturation_rate: float, beta: float, gamma: float, toleran
     ``tolerance`` of R0; the low-rate region precedes it, optimistic probing
     follows it.
     """
-    inflection = (beta * saturation_rate / gamma) ** (1.0 / 3.0)
+    inflection = cubic_inflection_ms(saturation_rate, beta, gamma)
     band = tolerance * saturation_rate
     # rate(ΔT) − R0 = γ(ΔT − inflection)³, so |ΔT − inflection| ≤ (band/γ)^(1/3).
     half_width = (band / gamma) ** (1.0 / 3.0)

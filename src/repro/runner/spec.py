@@ -29,6 +29,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
+from ..controls import ControlSpec
 from ..core.config import C3Config
 from ..simulator import DemandSkew, SimulationConfig
 from ..strategies import StrategySpec
@@ -57,7 +58,7 @@ def _jsonify(value: Any) -> Any:
     anything json can't express raises so cache keys never silently
     depend on ``repr`` formatting.
     """
-    if isinstance(value, StrategySpec):
+    if isinstance(value, (StrategySpec, ControlSpec)):
         return value.canonical()
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {k: _jsonify(v) for k, v in dataclasses.asdict(value).items()}
@@ -83,8 +84,21 @@ def content_hash(obj: Any) -> str:
 
 
 def config_to_payload(config: SimulationConfig) -> dict:
-    """A JSON-serializable dict capturing every field of ``config``."""
-    return {f.name: _jsonify(getattr(config, f.name)) for f in dataclasses.fields(config)}
+    """A JSON-serializable dict capturing every field of ``config``.
+
+    The *default* control specs — the ``"binary"`` failure detector and
+    ``hedging=None`` — are omitted from the payload, so configs predating
+    the controls axes keep byte-identical payloads (and therefore cache
+    keys and pinned payload hashes); :func:`payload_to_config` restores the
+    defaults on reconstruction.  Non-default control specs are included and
+    produce distinct cache keys per spec.
+    """
+    payload = {f.name: _jsonify(getattr(config, f.name)) for f in dataclasses.fields(config)}
+    if payload.get("failure_detector") == "binary":
+        del payload["failure_detector"]
+    if payload.get("hedging") is None:
+        del payload["hedging"]
+    return payload
 
 
 def payload_to_config(payload: Mapping[str, Any]) -> SimulationConfig:
@@ -169,6 +183,18 @@ class SweepSpec:
             normalized_grid["strategy"] = tuple(
                 StrategySpec.parse(value).canonical()
                 for value in normalized_grid["strategy"]
+            )
+        # Control axes canonicalize the same way (a hedging axis may include
+        # None, meaning "no hedging" for that grid point).
+        if "failure_detector" in normalized_grid:
+            normalized_grid["failure_detector"] = tuple(
+                ControlSpec.parse(value, kind="detector").canonical()
+                for value in normalized_grid["failure_detector"]
+            )
+        if "hedging" in normalized_grid:
+            normalized_grid["hedging"] = tuple(
+                None if value is None else ControlSpec.parse(value, kind="hedge").canonical()
+                for value in normalized_grid["hedging"]
             )
         for name, values in normalized_grid.items():
             if name not in _CONFIG_FIELDS:

@@ -5,14 +5,27 @@ it: it submits incoming requests, dispatches them over the (simulated)
 network, issues read-repair duplicates, retries backpressured requests when
 permits free up, and feeds responses (with their piggy-backed feedback) back
 into the selector.
+
+Liveness knowledge is mediated by a pluggable failure detector (see
+:mod:`repro.controls.detectors`): the default
+:class:`~repro.controls.detectors.BinaryFailureDetector` reproduces the
+legacy ground-truth down/up checks byte-for-byte, while
+``failure_detector="phi:threshold=8"`` switches to phi-accrual suspicion
+fed by response-arrival heartbeats.  An optional hedging policy
+(:class:`~repro.controls.hedging.QuantileHedging`) re-issues slow reads to
+another replica after the configured latency quantile; the first response
+wins and the straggler is swallowed.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Hashable, Mapping
 
 import numpy as np
 
+from ..controls.detectors import BinaryFailureDetector, FailureDetector
+from ..controls.hedging import QuantileHedging
 from ..core.feedback import ServerFeedback
 from ..strategies.base import ReplicaSelector
 from .engine import Event, EventLoop
@@ -28,6 +41,17 @@ _MIN_RETRY_MS = 0.1
 
 #: Delay before re-trying requests parked because every replica was down (ms).
 _PARKED_RETRY_MS = 5.0
+
+
+@dataclass(slots=True)
+class _HedgedRead:
+    """Book-keeping for one read with a pending or fired hedge."""
+
+    primary: Request
+    used: set
+    fired: int = 0
+    done: bool = False
+    event: Event | None = None
 
 
 class SimClient:
@@ -51,13 +75,19 @@ class SimClient:
         Probability that a read is duplicated to every other replica of its
         group (Cassandra's default of 10 % is used throughout the paper).
     rng:
-        Random generator (read-repair coin flips).
+        Random generator (read-repair coin flips, hedge target choice).
     down_tracker:
-        Shared crashed-server count (scenario fault injection).  When any
-        server is down the client filters dead replicas out of the candidate
-        set before replica selection; when the whole group is down the
-        request is parked and retried until a replica returns.  ``None``
-        disables all liveness checks.
+        Shared crashed-server count (scenario fault injection), used by
+        read repair and — via the default binary detector — liveness checks.
+    failure_detector:
+        Shared :class:`~repro.controls.detectors.FailureDetector` consulted
+        before replica selection and dispatch.  ``None`` builds the legacy
+        :class:`BinaryFailureDetector` over ``down_tracker``/``servers``
+        (which disables all filtering when ``down_tracker`` is ``None``).
+    hedging:
+        Optional hedging policy: reads still pending after the policy's
+        latency-quantile threshold are re-issued to a different live
+        replica.  ``None`` (the default) hedges nothing.
     """
 
     def __init__(
@@ -71,6 +101,8 @@ class SimClient:
         read_repair_probability: float = 0.1,
         rng: np.random.Generator | None = None,
         down_tracker: DownServerTracker | None = None,
+        failure_detector: FailureDetector | None = None,
+        hedging: QuantileHedging | None = None,
     ) -> None:
         if not 0.0 <= read_repair_probability <= 1.0:
             raise ValueError("read_repair_probability must be in [0, 1]")
@@ -83,14 +115,24 @@ class SimClient:
         self.read_repair_probability = read_repair_probability
         self.rng = rng or np.random.default_rng()
         self.down_tracker = down_tracker
+        self.failure_detector: FailureDetector = (
+            failure_detector
+            if failure_detector is not None
+            else BinaryFailureDetector(down_tracker, servers)
+        )
+        self.hedging = hedging
 
         self._retry_event: Event | None = None
         self._parked: list[Request] = []
         self._parked_event: Event | None = None
+        self._hedge_ops: dict[int, _HedgedRead] = {}
+        self._hedge_by_copy: dict[int, int] = {}
         self.requests_handled = 0
         self.responses_handled = 0
         self.read_repairs_issued = 0
         self.requests_parked = 0
+        self.hedges_fired = 0
+        self.hedges_won = 0
 
     # -------------------------------------------------------------- entry point
     def on_request(self, request: Request) -> None:
@@ -103,8 +145,8 @@ class SimClient:
         """Route a request through liveness filtering and replica selection."""
         now = self.loop.now
         candidates = request.replica_group
-        if self.down_tracker is not None and self.down_tracker.count:
-            live = tuple(sid for sid in candidates if self.servers[sid].is_up)
+        if self.failure_detector.suspicious():
+            live = tuple(sid for sid in candidates if self.failure_detector.is_alive(sid, now))
             if not live:
                 self._park(request)
                 return
@@ -113,6 +155,7 @@ class SimClient:
         if decision.sent:
             self._dispatch(request, decision.server_id)
             self._maybe_read_repair(request)
+            self._maybe_schedule_hedge(request)
         else:
             request.backpressured = True
             self.metrics.on_backpressure()
@@ -120,25 +163,29 @@ class SimClient:
 
     # ------------------------------------------------------------------ dispatch
     def _dispatch(self, request: Request, server_id: Hashable) -> None:
-        server = self.servers[server_id]
-        if self.down_tracker is not None and self.down_tracker.count and not server.is_up:
+        now = self.loop.now
+        if self.failure_detector.suspicious() and not self.failure_detector.is_alive(server_id, now):
             # A selector-internal placement (backlog drain) raced with a
             # crash: release the selector's accounting and park the request
             # for a fresh selection once a replica is back.
-            self.selector.on_timeout(server_id, self.loop.now)
+            self.selector.on_timeout(server_id, now)
             self._park(request)
             return
-        now = self.loop.now
         request.mark_dispatched(now, server_id)
         delay = self.network.one_way_delay(self.client_id, server_id)
-        self.loop.schedule(delay, server.enqueue, request)
+        self.loop.schedule(delay, self.servers[server_id].enqueue, request)
 
     def _maybe_read_repair(self, request: Request) -> None:
         """With probability p, duplicate the read to all other replicas.
 
         The duplicates add server load and produce feedback (which lets the
         coordinator refresh its view of every peer, per §4) but do not count
-        towards the latency distribution.
+        towards the latency distribution.  Read repair deliberately keeps
+        using ground-truth crash knowledge (``down_tracker``) rather than
+        the configured failure detector: connection-refused knowledge is
+        immediate in Cassandra, and the resulting duplicates are the probe
+        traffic that lets a suspicion-based detector observe a recovered
+        (or merely slow) replica and un-suspect it.
         """
         if request.kind != RequestKind.READ or request.is_duplicate:
             return
@@ -166,20 +213,120 @@ class SimClient:
             self._dispatch(duplicate, server_id)
             self.read_repairs_issued += 1
 
+    # ------------------------------------------------------------------- hedging
+    def _maybe_schedule_hedge(self, request: Request) -> None:
+        """Arm the hedge timer for a freshly dispatched primary read."""
+        if self.hedging is None:
+            return
+        if request.kind != RequestKind.READ or request.is_duplicate:
+            return
+        if request.server_id is None or request.request_id in self._hedge_ops:
+            return
+        threshold = self.hedging.threshold_ms()
+        if threshold is None:
+            return
+        op = _HedgedRead(primary=request, used={request.server_id})
+        op.event = self.loop.schedule(threshold, self._fire_hedge, request.request_id)
+        self._hedge_ops[request.request_id] = op
+
+    def _fire_hedge(self, primary_id: int) -> None:
+        """Issue one extra copy of a still-pending read to a fresh replica."""
+        op = self._hedge_ops.get(primary_id)
+        if op is None or op.done or self.hedging is None:
+            return
+        op.event = None
+        now = self.loop.now
+        primary = op.primary
+        candidates = tuple(
+            sid
+            for sid in primary.replica_group
+            if sid not in op.used and self.failure_detector.is_alive(sid, now)
+        )
+        if not candidates:
+            return
+        target = candidates[int(self.rng.integers(len(candidates)))]
+        duplicate = Request.create(
+            client_id=self.client_id,
+            replica_group=primary.replica_group,
+            created_at=now,
+            kind=RequestKind.SPECULATIVE,
+            key=primary.key,
+            record_size=primary.record_size,
+            parent_id=primary.request_id,
+        )
+        op.used.add(target)
+        op.fired += 1
+        self._hedge_by_copy[duplicate.request_id] = primary_id
+        self.metrics.on_issue(duplicate)
+        self.hedges_fired += 1
+        self.selector.on_duplicate_send(target, now)
+        self._dispatch(duplicate, target)
+        if op.fired < self.hedging.max_extra:
+            threshold = self.hedging.threshold_ms()
+            if threshold is not None:
+                op.event = self.loop.schedule(threshold, self._fire_hedge, primary_id)
+
+    def _hedge_complete(self, request: Request, response_time: float, now: float) -> None:
+        """First-response-wins completion accounting for hedged reads.
+
+        Exactly one completion is recorded per primary request: either its
+        own response, or — when a hedge copy answers first — the copy's
+        arrival (the straggling primary response is then swallowed, though
+        its feedback still reached the selector).
+        """
+        policy = self.hedging
+        assert policy is not None
+        primary_id = self._hedge_by_copy.pop(request.request_id, None)
+        if primary_id is not None:
+            # A hedge copy came back: always record its server-load
+            # contribution (duplicates never enter the latency distribution).
+            self.metrics.on_complete(request, now)
+            op = self._hedge_ops.get(primary_id)
+            if op is None or op.done:
+                return
+            # First response wins: complete the operation now.  The op entry
+            # stays behind (done=True) so the straggling primary response is
+            # recognised and swallowed.
+            op.done = True
+            if op.event is not None:
+                op.event.cancel()
+            self.hedges_won += 1
+            op.primary.mark_completed(now)
+            if op.primary.dispatched_at is not None:
+                policy.record(now - op.primary.dispatched_at)
+            self.metrics.on_complete(op.primary, now)
+            return
+        op = self._hedge_ops.pop(request.request_id, None)
+        if op is not None:
+            if op.done:
+                # A copy already completed this operation; the primary's
+                # straggler response is swallowed.
+                return
+            if op.event is not None:
+                op.event.cancel()
+        if request.kind == RequestKind.READ and not request.is_duplicate:
+            policy.record(response_time)
+        self.metrics.on_complete(request, now)
+
     # ----------------------------------------------------------------- responses
     def on_server_response(self, request: Request, feedback: ServerFeedback, service_time: float) -> None:
         """Handle a response arriving back at the client."""
         now = self.loop.now
         self.responses_handled += 1
+        self.failure_detector.heartbeat(request.server_id, now)
         request.mark_completed(now)
         response_time = (
             now - request.dispatched_at if request.dispatched_at is not None else now - request.created_at
         )
         released = self.selector.on_response(request.server_id, feedback, response_time, now)
-        self.metrics.on_complete(request, now)
+        if self.hedging is not None:
+            self._hedge_complete(request, response_time, now)
+        else:
+            self.metrics.on_complete(request, now)
         for pending_request, server_id in released:
             self._dispatch(pending_request, server_id)
             self._maybe_read_repair(pending_request)
+            self._maybe_schedule_hedge(pending_request)
         if self.selector.pending_backlog() > 0:
             self._schedule_retry(self.selector.next_retry_ms(now) or _MIN_RETRY_MS)
 
@@ -218,6 +365,7 @@ class SimClient:
         for request, server_id in released:
             self._dispatch(request, server_id)
             self._maybe_read_repair(request)
+            self._maybe_schedule_hedge(request)
         if self.selector.pending_backlog() > 0:
             retry = self.selector.next_retry_ms(now)
             self._schedule_retry(retry if retry is not None else 1.0)
@@ -231,5 +379,7 @@ class SimClient:
             "responses_handled": self.responses_handled,
             "read_repairs_issued": self.read_repairs_issued,
             "requests_parked": self.requests_parked,
+            "hedges_fired": self.hedges_fired,
+            "hedges_won": self.hedges_won,
             "selector": self.selector.stats(),
         }

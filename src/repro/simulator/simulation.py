@@ -14,6 +14,7 @@ from typing import Any, Hashable, Mapping
 
 import numpy as np
 
+from ..controls import ControlSpec
 from ..core.config import C3Config
 from ..strategies import StrategySpec
 from .client import SimClient
@@ -52,6 +53,14 @@ class SimulationConfig:
     "params": {...}}``), or a :class:`~repro.strategies.StrategySpec`; it is
     normalized to the canonical spec string at construction, so bare names
     stay byte-identical in payloads, cache keys, and golden digests.
+
+    ``failure_detector`` and ``hedging`` address registered controls (see
+    :mod:`repro.controls`) through the same spec grammar.  The defaults —
+    the ``"binary"`` ground-truth detector and no hedging — reproduce the
+    legacy simulator byte-for-byte; ``failure_detector="phi:threshold=8"``
+    switches liveness to phi-accrual suspicion and
+    ``hedging="hedge:quantile=0.95"`` re-issues slow reads to another
+    replica at the configured latency quantile.
     """
 
     num_servers: int = 50
@@ -80,6 +89,8 @@ class SimulationConfig:
     record_rate_history: bool = False
     metrics_mode: str = "exact"
     histogram_relative_error: float = 0.01
+    failure_detector: "str | Mapping[str, Any] | ControlSpec" = "binary"
+    hedging: "str | Mapping[str, Any] | ControlSpec | None" = None
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -87,6 +98,12 @@ class SimulationConfig:
         # (validating the name and params in the process): "c3" -> "C3",
         # "c3:cubic_c=2e-4" -> "C3:gamma=0.0002", bare names unchanged.
         self.strategy = StrategySpec.parse(self.strategy).canonical()
+        # Control references normalize the same way; the defaults ("binary"
+        # detection, no hedging) are additionally omitted from runner
+        # payloads so legacy cache keys and digests stay stable.
+        self.failure_detector = ControlSpec.parse(self.failure_detector, kind="detector").canonical()
+        if self.hedging is not None:
+            self.hedging = ControlSpec.parse(self.hedging, kind="hedge").canonical()
         if self.num_servers < self.replication_factor:
             raise ValueError("num_servers must be >= replication_factor")
         if self.num_clients < 1:
@@ -114,6 +131,18 @@ class SimulationConfig:
     def strategy_spec(self) -> StrategySpec:
         """The canonical :class:`StrategySpec` of this run's strategy."""
         return StrategySpec.parse(self.strategy)
+
+    @property
+    def failure_detector_spec(self) -> ControlSpec:
+        """The canonical :class:`ControlSpec` of this run's failure detector."""
+        return ControlSpec.parse(self.failure_detector, kind="detector")
+
+    @property
+    def hedging_spec(self) -> ControlSpec | None:
+        """The canonical :class:`ControlSpec` of the hedging policy, if any."""
+        if self.hedging is None:
+            return None
+        return ControlSpec.parse(self.hedging, kind="hedge")
 
     @property
     def effective_rate_multiplier(self) -> float:
@@ -192,6 +221,15 @@ class ReplicaSelectionSimulation:
 
         c3_config = cfg.c3_config or C3Config().with_clients(cfg.num_clients)
         strategy_spec = cfg.strategy_spec
+        # One detector instance serves every client (liveness is cluster-wide
+        # knowledge); hedging policies are per-client, like the coordinator's
+        # speculative-retry windows.  Neither construction draws randomness,
+        # so the RNG child-stream order below is unchanged from the legacy
+        # build and seeds stay digest-compatible.
+        self.failure_detector = cfg.failure_detector_spec.build(
+            down_tracker=self.down_tracker, servers=self.servers
+        )
+        hedging_spec = cfg.hedging_spec
         for cid in range(cfg.num_clients):
             selector_rng = np.random.default_rng(self.rng.integers(2**63))
             selector = strategy_spec.build(
@@ -211,6 +249,8 @@ class ReplicaSelectionSimulation:
                 read_repair_probability=cfg.read_repair_probability,
                 rng=client_rng,
                 down_tracker=self.down_tracker,
+                failure_detector=self.failure_detector,
+                hedging=hedging_spec.build() if hedging_spec is not None else None,
             )
             self.clients.append(client)
 

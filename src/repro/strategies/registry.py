@@ -29,9 +29,6 @@ from __future__ import annotations
 
 import dataclasses
 import difflib
-import math
-import types
-import typing
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Mapping
 
@@ -39,6 +36,7 @@ import numpy as np
 
 from ..core.config import C3Config
 from .base import ReplicaSelector
+from .paramspec import resolve_param_overrides
 
 __all__ = [
     "BuildContext",
@@ -243,68 +241,9 @@ def resolve_strategy(name: str) -> StrategyInfo:
 
 # ---------------------------------------------------------------------------
 # Parameter resolution: alias expansion, unknown-key rejection, type coercion.
+# The mechanics are shared with the control registry via
+# :mod:`repro.strategies.paramspec`.
 # ---------------------------------------------------------------------------
-
-
-def _type_hints(params_cls: type) -> dict[str, Any]:
-    # Evaluated lazily (modules use `from __future__ import annotations`).
-    return typing.get_type_hints(params_cls)
-
-
-def _accepted_types(hint: Any) -> tuple[set[type], bool]:
-    """The concrete types a field hint accepts, plus whether None is allowed."""
-    if hint is type(None):
-        return set(), True
-    origin = typing.get_origin(hint)
-    if origin is typing.Union or origin is types.UnionType:
-        accepted: set[type] = set()
-        allows_none = False
-        for arg in typing.get_args(hint):
-            arg_types, arg_none = _accepted_types(arg)
-            accepted |= arg_types
-            allows_none = allows_none or arg_none
-        return accepted, allows_none
-    return {hint}, False
-
-
-def _coerce(info: StrategyInfo, field_name: str, value: Any, hint: Any) -> Any:
-    """Coerce ``value`` to the field's annotated type or raise ``ValueError``."""
-    accepted, allows_none = _accepted_types(hint)
-    if value is None:
-        if allows_none:
-            return None
-        raise ValueError(
-            f"parameter {field_name!r} of strategy {info.name} does not accept null"
-        )
-    if bool in accepted and isinstance(value, bool):
-        return value
-    if isinstance(value, bool):  # bool is an int subclass; keep it out of numbers
-        raise ValueError(
-            f"parameter {field_name!r} of strategy {info.name} expects "
-            f"{_describe_types(accepted)}, got a boolean"
-        )
-    if float in accepted and isinstance(value, (int, float)):
-        # Non-finite values would break the canonical-string round trip
-        # (repr(nan)/repr(inf) are not JSON) and make no sense as knobs.
-        if not math.isfinite(value):
-            raise ValueError(
-                f"parameter {field_name!r} of strategy {info.name} must be finite, got {value!r}"
-            )
-        return float(value)
-    if int in accepted and isinstance(value, int):
-        return int(value)
-    if int in accepted and isinstance(value, float) and value.is_integer():
-        return int(value)
-    if str in accepted and isinstance(value, str):
-        return value
-    raise ValueError(
-        f"parameter {field_name!r} of strategy {info.name} expects "
-        f"{_describe_types(accepted)}, got {value!r}"
-    )
-
-
-def _describe_types(accepted: set[type]) -> str:
-    return " | ".join(sorted(t.__name__ for t in accepted)) or "nothing"
 
 
 def resolve_params(info: StrategyInfo, params: Mapping[str, Any]) -> dict[str, Any]:
@@ -316,34 +255,13 @@ def resolve_params(info: StrategyInfo, params: Mapping[str, Any]) -> dict[str, A
     spellings of the same configuration normalize identically (and a bare
     name stays a bare name).
     """
-    fields_by_name = {f.name: f for f in dataclasses.fields(info.params_cls)}
-    hints = _type_hints(info.params_cls)
-    defaults = info.param_defaults()
-    valid = sorted(set(fields_by_name) | set(info.param_aliases))
-    resolved: dict[str, Any] = {}
-    for key, raw in params.items():
-        field_name = info.param_aliases.get(key, key)
-        if field_name not in fields_by_name:
-            close = difflib.get_close_matches(key, valid, n=1)
-            hint = f"; did you mean {close[0]!r}?" if close else ""
-            raise ValueError(
-                f"unknown parameter {key!r} for strategy {info.name}"
-                f" (valid parameters: {', '.join(valid) or '(none)'}){hint}"
-            )
-        if field_name in resolved:
-            raise ValueError(
-                f"parameter {field_name!r} of strategy {info.name} given more than once "
-                f"(an alias and its target, or a repeated key)"
-            )
-        resolved[field_name] = _coerce(info, field_name, raw, hints[field_name])
-    # Canonical form: a param explicitly set to its registered default is
-    # indistinguishable from an unset param (both mean "the paper's value").
-    normalized = {
-        name: value for name, value in resolved.items() if value != defaults[name]
-    }
-    if info.validate is not None:
-        info.validate(normalized)
-    return normalized
+    return resolve_param_overrides(
+        info.params_cls,
+        params,
+        subject=f"strategy {info.name}",
+        param_aliases=info.param_aliases,
+        validate=info.validate,
+    )
 
 
 def build_selector(spec: "Any", ctx: BuildContext | None = None) -> ReplicaSelector:

@@ -25,8 +25,6 @@ byte-identical to the pre-registry era.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass
 from typing import Any, Mapping
 
@@ -34,6 +32,7 @@ import numpy as np
 
 from ..core.config import C3Config
 from .base import ReplicaSelector
+from .paramspec import format_params, parse_spec_string, spec_digest
 from .registry import (
     BuildContext,
     IowaitFn,
@@ -44,53 +43,6 @@ from .registry import (
 )
 
 __all__ = ["StrategySpec"]
-
-
-def _parse_value(raw: str) -> Any:
-    """A spec-string parameter value: JSON scalar, falling back to string."""
-    try:
-        return json.loads(raw)
-    except json.JSONDecodeError:
-        return raw
-
-
-def _format_value(value: Any) -> str:
-    """Format one canonical param value so that parsing round-trips it."""
-    if value is None:
-        return "null"
-    if isinstance(value, bool):
-        return "true" if value else "false"
-    if isinstance(value, float):
-        return repr(value)  # shortest repr; json.loads round-trips it exactly
-    if isinstance(value, int):
-        return str(value)
-    text = str(value)
-    if any(sep in text for sep in (",", "=", ":")) or text != text.strip():
-        raise ValueError(f"cannot format parameter value {value!r} in spec syntax")
-    return text
-
-
-def _parse_string(text: str) -> tuple[str, dict[str, Any]]:
-    name, sep, param_text = text.partition(":")
-    if not name.strip():
-        raise ValueError(f"strategy spec {text!r} has an empty name")
-    if not sep:
-        return name, {}
-    params: dict[str, Any] = {}
-    if not param_text.strip():
-        raise ValueError(f"strategy spec {text!r} has a ':' but no parameters")
-    for pair in param_text.split(","):
-        key, eq, raw = pair.partition("=")
-        key = key.strip()
-        if not eq or not key:
-            raise ValueError(
-                f"malformed parameter {pair.strip()!r} in strategy spec {text!r}; "
-                f"expected KEY=VALUE"
-            )
-        if key in params:
-            raise ValueError(f"parameter {key!r} repeated in strategy spec {text!r}")
-        params[key] = _parse_value(raw.strip())
-    return name, params
 
 
 @dataclass(frozen=True)
@@ -113,7 +65,7 @@ class StrategySpec:
         if isinstance(value, StrategySpec):
             return cls.of(value.name, value.params_dict)
         if isinstance(value, str):
-            name, params = _parse_string(value)
+            name, params = parse_spec_string(value, label="strategy spec")
             return cls.of(name, params)
         if isinstance(value, Mapping):
             unknown = sorted(set(value) - {"name", "params"})
@@ -147,8 +99,7 @@ class StrategySpec:
         """The canonical string form (parses back to an equal spec)."""
         if not self.params:
             return self.name
-        rendered = ",".join(f"{key}={_format_value(value)}" for key, value in self.params)
-        return f"{self.name}:{rendered}"
+        return f"{self.name}:{format_params(self.params)}"
 
     def digest(self) -> str:
         """A stable content digest of the canonical spec.
@@ -158,12 +109,7 @@ class StrategySpec:
         This is what keeps runner cache keys and golden digests deterministic
         across refactors of the spec grammar.
         """
-        payload = json.dumps(
-            {"name": self.name, "params": self.params_dict},
-            sort_keys=True,
-            separators=(",", ":"),
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()
+        return spec_digest(self.name, self.params_dict)
 
     def __str__(self) -> str:
         return self.canonical()

@@ -1,0 +1,106 @@
+"""Failure-path unit tests for the gossip bus.
+
+Backfills direct coverage of the degenerate cases: unknown nodes, stale
+entries, out-of-range published values, double starts, and late
+registration joining the periodic cycle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.gossip import GossipService
+from repro.simulator.engine import EventLoop
+
+
+class TestConstructionAndUnknownNodes:
+    def test_non_positive_interval_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(ValueError, match="interval_ms"):
+            GossipService(loop, interval_ms=0.0)
+        with pytest.raises(ValueError, match="interval_ms"):
+            GossipService(loop, interval_ms=-5.0)
+
+    def test_unknown_node_reads_are_safe_defaults(self):
+        gossip = GossipService(EventLoop())
+        assert gossip.latest_iowait("ghost") == 0.0
+        assert gossip.staleness_ms("ghost") == float("inf")
+        assert gossip.snapshot() == {}
+
+    def test_registered_but_never_published_node_is_infinitely_stale(self):
+        gossip = GossipService(EventLoop())
+        gossip.register("a", lambda: 0.3)
+        assert gossip.latest_iowait("a") == 0.0
+        assert gossip.staleness_ms("a") == float("inf")
+
+
+class TestPublishEdgeCases:
+    def test_published_iowait_is_clamped_to_unit_interval(self):
+        gossip = GossipService(EventLoop())
+        gossip.publish("a", 5.0)
+        assert gossip.latest_iowait("a") == 1.0
+        gossip.publish("a", -2.0)
+        assert gossip.latest_iowait("a") == 0.0
+
+    def test_publish_without_source_defaults_to_zero(self):
+        gossip = GossipService(EventLoop())
+        gossip.publish("unregistered")
+        assert gossip.latest_iowait("unregistered") == 0.0
+        assert gossip.staleness_ms("unregistered") == 0.0
+
+    def test_explicit_publish_overrides_the_source(self):
+        gossip = GossipService(EventLoop())
+        gossip.register("a", lambda: 0.25)
+        gossip.publish("a", 0.9)
+        assert gossip.latest_iowait("a") == 0.9
+        gossip.publish("a")
+        assert gossip.latest_iowait("a") == 0.25
+
+
+class TestPeriodicCycle:
+    def test_start_is_idempotent(self):
+        loop = EventLoop()
+        gossip = GossipService(loop, interval_ms=100.0)
+        gossip.register("a", lambda: 0.1)
+        gossip.register("b", lambda: 0.2)
+        gossip.start()
+        gossip.start()  # must not double the publish cycle
+        loop.run(until=350.0)
+        # Publishes at t = 0, 100, 200, 300: four rounds × two nodes.
+        assert gossip.total_publishes == 8
+
+    def test_staleness_is_bounded_by_the_interval(self):
+        loop = EventLoop()
+        gossip = GossipService(loop, interval_ms=100.0)
+        gossip.register("a", lambda: 0.4)
+        gossip.start()
+        loop.run(until=550.0)
+        assert gossip.staleness_ms("a") <= 100.0
+        assert gossip.latest_iowait("a") == 0.4
+
+    def test_late_registration_joins_the_next_cycle(self):
+        loop = EventLoop()
+        gossip = GossipService(loop, interval_ms=100.0)
+        gossip.register("a", lambda: 0.1)
+        gossip.start()
+        loop.run(until=50.0)
+        gossip.register("late", lambda: 0.7)
+        assert gossip.latest_iowait("late") == 0.0
+        loop.run(until=150.0)
+        assert gossip.latest_iowait("late") == 0.7
+        assert gossip.staleness_ms("late") <= 100.0
+
+    def test_source_changes_propagate_on_the_next_publish(self):
+        loop = EventLoop()
+        gossip = GossipService(loop, interval_ms=100.0)
+        state = {"iowait": 0.1}
+        gossip.register("a", lambda: state["iowait"])
+        gossip.start()
+        loop.run(until=10.0)
+        assert gossip.latest_iowait("a") == 0.1
+        state["iowait"] = 0.8
+        # Until the next cycle the bus still serves the stale value — the
+        # propagation delay Dynamic Snitching suffers from (§2.3).
+        assert gossip.latest_iowait("a") == 0.1
+        loop.run(until=110.0)
+        assert gossip.latest_iowait("a") == 0.8
