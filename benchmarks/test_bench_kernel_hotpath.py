@@ -1,0 +1,87 @@
+"""Benchmarks of the batched event-loop kernel against the object path.
+
+The batched kernel is the flat simulator's hot-path engine: typed heap
+entries instead of Event objects, arena request state instead of Request
+instances, inlined per-event handlers, and dense per-server/per-client
+accounting.  Exact-mode results are digest-identical to the object path
+(``tests/simulator/test_kernel_equivalence.py`` pins that), so the only
+thing left to regress is speed — which these benchmarks gate two ways:
+
+* the batched wall-clock itself feeds the ``BENCH_baseline.json``
+  regression gate like every other benchmark;
+* the object/batched speedup ratio is measured interleaved (best-of-N of
+  each, alternating, so box-load drift hits both paths equally) and
+  asserted against a conservative floor.  Measured on the CI box: ~3.3x
+  for LOR, ~2.4x for P2C/RAND, ~1.4x for C3/RR, where the shared
+  irreducible costs (workload RNG draws, selector scoring) bound the
+  ceiling.  The floor is set below the noise band of the weakest measured
+  run, not at the headline number.
+"""
+
+import time
+
+from repro.simulator.simulation import ReplicaSelectionSimulation, SimulationConfig
+
+#: Hot-path configuration: the default read-heavy workload at default
+#: utilization/read-repair, sized so one run comfortably clears the
+#: regression gate's 50 ms floor on both kernels.
+N_REQUESTS = 20_000
+BASE = dict(num_servers=10, num_clients=12, num_requests=N_REQUESTS, seed=7)
+
+
+def _run(kernel: str, strategy: str) -> str:
+    config = SimulationConfig(kernel=kernel, strategy=strategy, **BASE)
+    return ReplicaSelectionSimulation(config).run().digest()
+
+
+def _timed(kernel: str, strategy: str) -> tuple[float, str]:
+    start = time.perf_counter()
+    digest = _run(kernel, strategy)
+    return time.perf_counter() - start, digest
+
+
+def _speedup(strategy: str, rounds: int = 3) -> tuple[float, str, str]:
+    """Interleaved best-of-``rounds`` object/batched ratio + both digests."""
+    best_object = best_batched = float("inf")
+    for _ in range(rounds):
+        elapsed, object_digest = _timed("object", strategy)
+        best_object = min(best_object, elapsed)
+        elapsed, batched_digest = _timed("batched", strategy)
+        best_batched = min(best_batched, elapsed)
+    return best_object / best_batched, object_digest, batched_digest
+
+
+def test_bench_kernel_hotpath_lor_batched(benchmark):
+    """Batched-kernel wall clock on the hottest configuration (LOR)."""
+    digest = benchmark.pedantic(lambda: _run("batched", "LOR"), rounds=3, iterations=1)
+    benchmark.extra_info["strategy"] = "LOR"
+    benchmark.extra_info["requests"] = N_REQUESTS
+    assert digest
+
+
+def test_bench_kernel_hotpath_c3_batched(benchmark):
+    """Batched-kernel wall clock with the paper's strategy (C3)."""
+    digest = benchmark.pedantic(lambda: _run("batched", "C3"), rounds=3, iterations=1)
+    benchmark.extra_info["strategy"] = "C3"
+    benchmark.extra_info["requests"] = N_REQUESTS
+    assert digest
+
+
+def test_bench_kernel_speedup_and_equivalence(benchmark):
+    """The batched kernel must stay several times faster than the object path.
+
+    The assertion floor (2.5x on LOR) sits under the measured 2.9–3.3x so
+    CI noise cannot flake it, while still catching any change that erodes
+    the batched kernel's advantage.  Digest equality is re-asserted here so
+    the speedup can never silently come from diverging behavior.
+    """
+
+    def measure():
+        ratio, object_digest, batched_digest = _speedup("LOR")
+        assert object_digest == batched_digest
+        return ratio
+
+    ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["strategy"] = "LOR"
+    benchmark.extra_info["speedup"] = round(ratio, 2)
+    assert ratio >= 2.5

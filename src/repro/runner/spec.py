@@ -86,18 +86,24 @@ def content_hash(obj: Any) -> str:
 def config_to_payload(config: SimulationConfig) -> dict:
     """A JSON-serializable dict capturing every field of ``config``.
 
-    The *default* control specs — the ``"binary"`` failure detector and
-    ``hedging=None`` — are omitted from the payload, so configs predating
-    the controls axes keep byte-identical payloads (and therefore cache
-    keys and pinned payload hashes); :func:`payload_to_config` restores the
-    defaults on reconstruction.  Non-default control specs are included and
-    produce distinct cache keys per spec.
+    The *default* control specs — the ``"binary"`` failure detector,
+    ``hedging=None`` and the ``"object"`` kernel — are omitted from the
+    payload, so configs predating those axes keep byte-identical payloads
+    (and therefore cache keys and pinned payload hashes);
+    :func:`payload_to_config` restores the defaults on reconstruction.
+    Non-default values are included and produce distinct cache keys.  Note
+    the ``kernel`` consequence: object and batched runs of the same config
+    cache separately even though their exact-mode results are
+    digest-identical — the axis exists precisely so a digest mismatch could
+    be traced to the kernel that produced it.
     """
     payload = {f.name: _jsonify(getattr(config, f.name)) for f in dataclasses.fields(config)}
     if payload.get("failure_detector") == "binary":
         del payload["failure_detector"]
     if payload.get("hedging") is None:
         del payload["hedging"]
+    if payload.get("kernel") == "object":
+        del payload["kernel"]
     return payload
 
 

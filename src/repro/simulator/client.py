@@ -19,8 +19,8 @@ wins and the straggler is swallowed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Hashable, Mapping
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Mapping
 
 import numpy as np
 
@@ -103,6 +103,7 @@ class SimClient:
         down_tracker: DownServerTracker | None = None,
         failure_detector: FailureDetector | None = None,
         hedging: QuantileHedging | None = None,
+        id_source: Iterator[int] | None = None,
     ) -> None:
         if not 0.0 <= read_repair_probability <= 1.0:
             raise ValueError("read_repair_probability must be in [0, 1]")
@@ -121,6 +122,7 @@ class SimClient:
             else BinaryFailureDetector(down_tracker, servers)
         )
         self.hedging = hedging
+        self._id_source = id_source
 
         self._retry_event: Event | None = None
         self._parked: list[Request] = []
@@ -207,6 +209,7 @@ class SimClient:
                 key=request.key,
                 record_size=request.record_size,
                 parent_id=request.request_id,
+                id_source=self._id_source,
             )
             self.metrics.on_issue(duplicate)
             self.selector.on_duplicate_send(server_id, self.loop.now)
@@ -243,6 +246,11 @@ class SimClient:
             if sid not in op.used and self.failure_detector.is_alive(sid, now)
         )
         if not candidates:
+            # Every unused replica is currently suspect (e.g. a transient
+            # full-group crash).  Keep the timer armed while budget remains
+            # so hedging resumes once a replica recovers, instead of being
+            # permanently disarmed for this request.
+            self._rearm_hedge(op, primary_id)
             return
         target = candidates[int(self.rng.integers(len(candidates)))]
         duplicate = Request.create(
@@ -253,6 +261,7 @@ class SimClient:
             key=primary.key,
             record_size=primary.record_size,
             parent_id=primary.request_id,
+            id_source=self._id_source,
         )
         op.used.add(target)
         op.fired += 1
@@ -261,6 +270,11 @@ class SimClient:
         self.hedges_fired += 1
         self.selector.on_duplicate_send(target, now)
         self._dispatch(duplicate, target)
+        self._rearm_hedge(op, primary_id)
+
+    def _rearm_hedge(self, op: _HedgedRead, primary_id: int) -> None:
+        """Re-schedule the hedge timer while the policy's budget remains."""
+        assert self.hedging is not None
         if op.fired < self.hedging.max_extra:
             threshold = self.hedging.threshold_ms()
             if threshold is not None:
@@ -269,24 +283,29 @@ class SimClient:
     def _hedge_complete(self, request: Request, response_time: float, now: float) -> None:
         """First-response-wins completion accounting for hedged reads.
 
-        Exactly one completion is recorded per primary request: either its
-        own response, or — when a hedge copy answers first — the copy's
-        arrival (the straggling primary response is then swallowed, though
-        its feedback still reached the selector).
+        Exactly one client-visible completion is recorded per primary
+        request: either its own response, or — when a hedge copy answers
+        first — the copy's arrival (the straggling primary response is then
+        swallowed, though its feedback still reached the selector).  Server
+        load, in contrast, is attributed per *response*: every replica that
+        actually answers is credited in the window of its own response.
         """
         policy = self.hedging
         assert policy is not None
+        # Server load is credited when the serving replica actually responds
+        # — winner, loser, and straggler alike — so the Fig. 8/9 windowed
+        # load series reflect real server activity under hedging instead of
+        # shifting the primary's completion into the hedge-win window.
+        self.metrics.on_server_complete(request, now)
         primary_id = self._hedge_by_copy.pop(request.request_id, None)
         if primary_id is not None:
-            # A hedge copy came back: always record its server-load
-            # contribution (duplicates never enter the latency distribution).
-            self.metrics.on_complete(request, now)
             op = self._hedge_ops.get(primary_id)
             if op is None or op.done:
                 return
             # First response wins: complete the operation now.  The op entry
             # stays behind (done=True) so the straggling primary response is
-            # recognised and swallowed.
+            # recognised and swallowed; its server load is still credited —
+            # at its actual arrival time — by the on_server_complete above.
             op.done = True
             if op.event is not None:
                 op.event.cancel()
@@ -294,19 +313,20 @@ class SimClient:
             op.primary.mark_completed(now)
             if op.primary.dispatched_at is not None:
                 policy.record(now - op.primary.dispatched_at)
-            self.metrics.on_complete(op.primary, now)
+            self.metrics.on_client_complete(op.primary)
             return
         op = self._hedge_ops.pop(request.request_id, None)
         if op is not None:
             if op.done:
                 # A copy already completed this operation; the primary's
-                # straggler response is swallowed.
+                # straggler response is swallowed (latency-wise — its load
+                # contribution was recorded above).
                 return
             if op.event is not None:
                 op.event.cancel()
         if request.kind == RequestKind.READ and not request.is_duplicate:
             policy.record(response_time)
-        self.metrics.on_complete(request, now)
+        self.metrics.on_client_complete(request)
 
     # ----------------------------------------------------------------- responses
     def on_server_response(self, request: Request, feedback: ServerFeedback, service_time: float) -> None:

@@ -29,7 +29,7 @@ import heapq
 import itertools
 from typing import Callable
 
-__all__ = ["Event", "EventLoop", "SimulationError"]
+__all__ = ["BatchedEventLoop", "Event", "EventLoop", "SimulationError"]
 
 
 class SimulationError(RuntimeError):
@@ -231,3 +231,29 @@ class EventLoop:
         self._dead = 0
         self._processed = 0
         self._seq = itertools.count()
+
+
+class BatchedEventLoop(EventLoop):
+    """An :class:`EventLoop` whose heap may also hold *typed* entries.
+
+    The batched simulator kernel (:mod:`repro.simulator.kernel`) pushes plain
+    tuples ``(time, seq, code, a, b, c)`` — where ``code`` is a small int —
+    onto the heap alongside ordinary ``(time, seq, Event)`` entries, and runs
+    its own dispatch loop over both.  Because ``seq`` is unique, tuple
+    comparison never reaches the third slot, so the two entry shapes order
+    correctly against each other.  Only compaction needs to care: it must
+    not assume every entry carries an :class:`Event`.
+
+    :meth:`step`/:meth:`run` are inherited unchanged — they are only safe
+    while the heap holds pure ``Event`` entries (before the kernel starts or
+    after it drains), which is how the kernel uses them.
+    """
+
+    def _compact(self) -> None:
+        self._heap[:] = [
+            entry
+            for entry in self._heap
+            if not (isinstance(entry[2], Event) and entry[2].cancelled)
+        ]
+        heapq.heapify(self._heap)
+        self._dead = 0

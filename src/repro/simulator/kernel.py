@@ -1,0 +1,1133 @@
+"""Batched event-loop kernel for the flat simulator's hot path.
+
+``SimulationConfig(kernel="batched")`` replaces the object-graph event flow
+(`Event` objects calling ``SimClient``/``SimServer`` bound methods, one
+``Request`` instance and one ``ServerFeedback`` per hop) with a single typed
+dispatch loop:
+
+* **Array-of-struct request state** — requests live in parallel Python
+  lists (created/client/group/kind/parent/dispatched/server/completed)
+  indexed by request id; no ``Request`` objects are allocated on the hot
+  path.  Request ids are arena indices, which reproduces the per-simulation
+  id counter of the object path exactly (both count creations from zero in
+  the same order).
+* **Typed heap entries** — the simulation's seven event kinds are plain
+  tuples ``(time, seq, code, a, b, c)`` pushed onto the same heap that
+  generic :class:`~repro.simulator.engine.Event` entries (scenario
+  components, fluctuation processes) use.  ``seq`` is unique, so tuple
+  comparison never reaches the mixed third slot.
+* **Vectorized service draws** — each server consumes a pre-drawn block of
+  standard-exponential variates on its own RNG stream
+  (``rng.standard_exponential(n)`` advances the stream exactly as ``n``
+  scalar ``rng.exponential(mean)`` calls do, and ``mean * e`` is bitwise
+  equal to ``exponential(mean)``).
+* **Batched selector scoring** — LOR and P2C score replica groups over
+  contiguous per-client arrays (outstanding counts, queue-EWMA values)
+  instead of defaultdict lookups, with end-of-run write-back through the
+  selectors' ``kernel_state``/``kernel_restore`` seams.  C3 submits through
+  :meth:`~repro.strategies.c3.C3Selector.kernel_submit`, which skips the
+  ``SelectorDecision`` re-wrap.  Every other strategy runs through its
+  normal selector methods (correct, less accelerated).
+* **Batched metrics** — latencies accumulate in flat lists and per-server
+  completion times flush through
+  :meth:`~repro.simulator.metrics.WindowedCounter.record_batch` at end of
+  run, replacing one dict update per completion with one scatter per
+  distinct window.
+
+Equivalence contract: for any config, ``kernel="batched"`` must produce a
+result whose digest is byte-identical to ``kernel="object"`` — same RNG
+draw order on every stream, same heap ordering, same float expressions (see
+``tests/simulator/test_kernel_equivalence.py``).  Scenario components keep
+working unmodified: they schedule generic events on the shared loop, and
+mid-run mutations (crash/restore, speed multipliers, network swaps, arrival
+rate changes) are read through the live server/network/process objects.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..controls.detectors import BinaryFailureDetector
+from ..core.feedback import ServerFeedback
+from ..strategies.base import ReplicaSelector, StatefulSelector
+from ..strategies.least_outstanding import LeastOutstandingSelector
+from ..strategies.power_of_two import PowerOfTwoSelector
+from .client import _MIN_RETRY_MS, _PARKED_RETRY_MS
+from .metrics import WindowedCounter
+from .network import ConstantLatency
+from .server import SimServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .metrics import SimulationResult
+    from .simulation import ReplicaSelectionSimulation
+
+__all__ = ["BatchedKernel", "KernelServer"]
+
+# Typed heap-entry codes (slot 2 of a 6-tuple; generic entries carry an
+# Event object there instead).
+_ENQUEUE = 0  # (t, seq, 0, rid, sid, 0.0)      request arrives at server
+_FINISH = 1  # (t, seq, 1, rid, sid, st)       service slot completes
+_RESPONSE = 2  # (t, seq, 2, rid, qsize, stime)  response arrives at client
+# Code 3 (workload arrival) is retired: at most one arrival is ever pending
+# and arrival times are strictly increasing, so the kernel keeps the next
+# arrival as scalar state (_arr_t/_arr_seq) instead of a heap entry.
+_HEDGE = 4  # (t, seq, 4, cid, rid, 0.0)      hedge timer fires
+_RETRY = 5  # (t, seq, 5, cid, 0, 0.0)        backlog retry timer
+_PARKED = 6  # (t, seq, 6, cid, 0, 0.0)        parked-request retry timer
+
+# Request kinds as small ints (order matches RequestKind usage: only the
+# write/read split and duplicate-ness matter to metrics).
+_READ = 0
+_WRITE = 1
+_READ_REPAIR = 2
+_SPECULATIVE = 3
+
+# Selector fast-path modes.
+_LOR = 0
+_P2C = 1
+_STOCK = 2
+_CUSTOM = 3
+
+#: Sentinel "no pending arrival" time (compares after every real event).
+_NEVER = float("inf")
+
+#: Pre-drawn standard-exponential variates per server block.
+_SVC_BLOCK = 512
+#: Pre-drawn uniform variates per client block (read-repair coins).
+_RR_BLOCK = 256
+
+# _HedgedRead field indices (list-based for hot-path speed).
+_OP_DONE = 0
+_OP_FIRED = 1
+_OP_USED = 2
+_OP_ARMED = 3
+
+
+class KernelServer(SimServer):
+    """A :class:`SimServer` whose service starts are driven by the kernel.
+
+    In kernel mode the FIFO queue holds request *ids* (ints) rather than
+    ``Request`` objects, and service times come from a pre-drawn block of
+    standard-exponential variates on the server's own RNG stream.
+    ``_try_start_service`` is overridden because scenario components call it
+    directly (``restore()`` at the end of a crash window must drain the
+    queue that built up), and those starts must stay on the block stream.
+
+    State observable mid-run — ``pending_requests``,
+    ``current_service_time_ms``, crash/restore/speed-multiplier controls —
+    is the live object state, so scenario components and the
+    ``server_state_fn`` used by snitch-style selectors read exactly what the
+    object path would show.  Write-only accounting (request/queue counters,
+    busy time, the service-time EWMA) accumulates in kernel-local dense
+    lists and is folded back into the object at the end of the run.
+    """
+
+    kernel: "BatchedKernel | None" = None
+    _svc_block: "np.ndarray | None" = None
+    _svc_i: int = 0
+
+    def _try_start_service(self) -> None:
+        kernel = self.kernel
+        if kernel is None:
+            super()._try_start_service()
+        else:
+            kernel.start_service(self)
+
+
+class BatchedKernel:
+    """Runs one :class:`ReplicaSelectionSimulation` through the typed loop."""
+
+    def __init__(self, sim: "ReplicaSelectionSimulation") -> None:
+        cfg = sim.config
+        self.sim = sim
+        self.loop = sim.loop
+        self.heap = sim.loop._heap
+        self.seq = sim.loop._seq
+        self.metrics = sim.metrics
+        self.tracker = sim.down_tracker
+        self.det = sim.failure_detector
+        self._binary = type(self.det) is BinaryFailureDetector
+
+        self.servers: list[SimServer] = [sim.servers[sid] for sid in range(cfg.num_servers)]
+        for server in self.servers:
+            if not isinstance(server, KernelServer):
+                raise TypeError(
+                    "kernel='batched' requires KernelServer instances; build the "
+                    "simulation with SimulationConfig(kernel='batched')"
+                )
+            server.kernel = self
+        # Dense caches of per-server state that is immutable after
+        # construction (the deque entries cache the *objects*; their
+        # contents stay live).  Dynamic state that anything outside the
+        # kernel can observe or mutate mid-run (_up, _in_service,
+        # multiplier, the queue contents) is always read through the server
+        # object so scenario components and the snitch/oracle
+        # ``server_state_fn`` see exactly what the object path would show.
+        srv = self.servers
+        self._srv_queue = [s._queue for s in srv]
+        self._srv_conc = [s.concurrency for s in srv]
+        self._srv_base = [s.base_service_time_ms for s in srv]
+        self._srv_rng = [s.rng for s in srv]
+        self._srv_det = [s.deterministic for s in srv]
+        self._srv_alpha = [s._service_time_ewma.alpha for s in srv]
+        # Write-only server accounting lives in dense lists for the run and
+        # is folded back in _sync_back().  Nothing reads these mid-run: the
+        # snitch/oracle ``server_state_fn`` reads only pending_requests and
+        # current_service_time_ms, which stay live on the object.
+        self._s_reqr = [s.requests_received for s in srv]
+        self._s_reqc = [s.requests_completed for s in srv]
+        self._s_busy = [s.busy_time_ms for s in srv]
+        self._s_cqs = [s.cumulative_queue_samples for s in srv]
+        self._s_qs = [s.queue_samples for s in srv]
+        self._s_maxq = [s.max_queue_length for s in srv]
+        self._s_ewv = [s._service_time_ewma._value for s in srv]
+        self._s_ewc = [s._service_time_ewma._count for s in srv]
+        self.size_factor = 1.0 if cfg.record_size <= 0 else max(0.25, cfg.record_size / 1024.0)
+
+        clients = sim.clients
+        self.n_clients = len(clients)
+        self._sels: list[ReplicaSelector] = [c.selector for c in clients]
+        self._crngs = [c.rng for c in clients]
+        self.rrp = float(cfg.read_repair_probability)
+        self._policies = [c.hedging for c in clients]
+        self._hedged = any(p is not None for p in self._policies)
+        self.mode = self._detect_mode(self._sels[0]) if self._sels else _CUSTOM
+
+        num_servers = cfg.num_servers
+        if self.mode == _LOR:
+            self._sel_rngs = [sel.rng for sel in self._sels]
+            self._out = [sel.kernel_state(num_servers) for sel in self._sels]
+            self._subm = [sel.requests_submitted for sel in self._sels]
+            self._resp = [sel.responses_received for sel in self._sels]
+        elif self.mode == _P2C:
+            self._sel_rngs = [sel.rng for sel in self._sels]
+            self.p2c_alpha = float(self._sels[0].alpha)
+            self._out, self._ew_val, self._ew_init = [], [], []
+            for sel in self._sels:
+                out, values, seeded = sel.kernel_state(num_servers)
+                self._out.append(out)
+                self._ew_val.append(values)
+                self._ew_init.append(seeded)
+            self._ew_cnt = [[0] * num_servers for _ in self._sels]
+            self._subm = [sel.requests_submitted for sel in self._sels]
+            self._resp = [sel.responses_received for sel in self._sels]
+
+        # Arena: one slot per request, rid == index == per-simulation id.
+        self._created: list[float] = []
+        self._client: list[int] = []
+        self._group: list[tuple] = []
+        self._kind: list[int] = []
+        self._parent: list[int] = []
+        self._disp: list[float] = []
+        self._sid: list[int] = []
+        self._comp: list[float] = []
+
+        # Per-client timers / hedging book-keeping.
+        n = self.n_clients
+        self._parked: list[list[int]] = [[] for _ in range(n)]
+        self._parked_armed = [False] * n
+        self._retry_armed = [False] * n
+        self._hedge_ops: list[dict] = [{} for _ in range(n)]
+        self._hedge_by_copy: list[dict] = [{} for _ in range(n)]
+        self._rr_blk: list["np.ndarray | None"] = [None] * n
+        self._rr_idx = [0] * n
+
+        # Client counters (synced back to SimClient objects at end of run).
+        self._requests_handled = [0] * n
+        self._responses_handled = [0] * n
+        self._rr_count = [0] * n
+        self._parked_cnt = [0] * n
+        self._hedges_fired = [0] * n
+        self._hedges_won = [0] * n
+
+        # Metrics accumulators.
+        self._exact = sim.metrics.metrics_mode == "exact"
+        self._lat_all: list[float] = []
+        self._lat_read: list[float] = []
+        self._lat_write: list[float] = []
+        self._srv_times: list[list[float]] = [[] for _ in range(num_servers)]
+        self.completed = 0
+        self.issued = 0
+        self.duplicates = 0
+        self.backpressure = 0
+
+        generator = sim.generator
+        assert generator is not None
+        self.gen = generator
+        self.proc = generator.process
+        self.wrng = generator.rng
+        self.groups = generator.groups
+        self.n_groups = len(generator.groups)
+        self._client_probs = generator._client_probs
+        self.read_fraction = generator.read_fraction
+
+    @staticmethod
+    def _detect_mode(selector: ReplicaSelector) -> int:
+        """Pick the fast path the selector's exact type allows.
+
+        The inlined LOR/P2C paths require the *exact* class (a subclass may
+        override any hook); the generic stock path requires the base
+        ``submit``/``on_response``/backlog methods to be unoverridden.
+        Anything else — C3, rate-limited round-robin, user strategies —
+        takes the fully polymorphic path.
+        """
+        cls = type(selector)
+        if cls is LeastOutstandingSelector:
+            return _LOR
+        if cls is PowerOfTwoSelector:
+            return _P2C
+        if (
+            isinstance(selector, StatefulSelector)
+            and cls.submit is StatefulSelector.submit
+            and cls.on_response is StatefulSelector.on_response
+            and cls.kernel_submit is ReplicaSelector.kernel_submit
+            and cls.pending_backlog is ReplicaSelector.pending_backlog
+            and cls.drain_backlog is ReplicaSelector.drain_backlog
+        ):
+            return _STOCK
+        return _CUSTOM
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> "SimulationResult":
+        sim = self.sim
+        cfg = sim.config
+        loop = self.loop
+        if sim.scenario is not None:
+            sim.scenario.start(sim._scenario_ctx)
+        elif sim.fluctuation is not None:
+            sim.fluctuation.start()
+        # The next workload arrival is scalar state rather than a heap entry:
+        # arrival times are strictly increasing, so at most one is pending
+        # and it never needs heap ordering among its own kind.  It still
+        # consumes a heap sequence number at "push" time so (time, seq)
+        # comparisons against real heap entries break ties exactly as the
+        # object path's scheduled arrival events do.
+        if self.proc.total_arrivals > 0:
+            gap = float(self.wrng.exponential(1.0 / self.proc.rate_per_ms))
+            self._arr_t = loop._now + gap
+            self._arr_seq = next(self.seq)
+        else:
+            self._arr_t = _NEVER
+            self._arr_seq = 0
+
+        slice_ms = max(10.0, cfg.fluctuation_interval_ms)
+        while self.completed < cfg.num_requests and loop._now < cfg.max_sim_time_ms:
+            self._run_slice(loop._now + slice_ms)
+
+        duration = loop._now
+        if sim.scenario is not None:
+            sim.scenario.stop()
+        self._sync_back()
+        extra = {
+            "config": cfg,
+            "clients": self.n_clients,
+            "servers": len(self.servers),
+            "backlog_remaining": sum(sel.pending_backlog() for sel in self._sels),
+            "parked_remaining": sum(len(parked) for parked in self._parked),
+            "scenario": cfg.scenario,
+        }
+        return self.metrics.result(duration_ms=duration, strategy=cfg.strategy, extra=extra)
+
+    def _push(self, time: float, code: int, a, b, c) -> None:
+        heappush(self.heap, (time, next(self.seq), code, a, b, c))
+
+    def _run_slice(self, until: float) -> None:
+        """Process every heap entry with ``time <= until``.
+
+        The four per-request handlers (RESPONSE, FINISH, ENQUEUE, ARRIVAL)
+        are inlined here with their state hoisted into locals: at ~5 heap
+        entries per completed request, attribute lookups inside the handlers
+        are the dominant Python overhead once allocation is gone.  The rare
+        paths — suspicious-mode submits, custom selectors, hedge/retry/park
+        timers, restore-time queue drains — still go through the method
+        handlers (``_submit``, ``_send``, ``start_service``, ...), which the
+        inline blocks transcribe with loop-invariant reads hoisted.
+        """
+        loop = self.loop
+        heap = self.heap
+        pop = heappop
+        push = heappush
+        nxt = self.seq.__next__
+        servers = self.servers
+        created = self._created
+        client_of = self._client
+        group_of = self._group
+        kind_of = self._kind
+        parent_of = self._parent
+        disp = self._disp
+        sid_of = self._sid
+        comp = self._comp
+        created_app = created.append
+        client_app = client_of.append
+        group_app = group_of.append
+        kind_app = kind_of.append
+        parent_app = parent_of.append
+        disp_app = disp.append
+        sid_app = sid_of.append
+        comp_app = comp.append
+        srv_times = self._srv_times
+        tracker = self.tracker
+        binary = self._binary
+        det = self.det
+        mode = self.mode
+        hedged = self._hedged
+        sels = self._sels
+        size_factor = self.size_factor
+        sim = self.sim
+        rrp = self.rrp
+        exact = self._exact
+        lat_all = self._lat_all
+        lat_read = self._lat_read
+        lat_write = self._lat_write
+        responses_handled = self._responses_handled
+        requests_handled = self._requests_handled
+        q_all = self._srv_queue
+        conc_all = self._srv_conc
+        base_all = self._srv_base
+        srng_all = self._srv_rng
+        det_all = self._srv_det
+        alpha_all = self._srv_alpha
+        reqr = self._s_reqr
+        reqc = self._s_reqc
+        busy = self._s_busy
+        cqs = self._s_cqs
+        qs = self._s_qs
+        maxq = self._s_maxq
+        ewv = self._s_ewv
+        ewc = self._s_ewc
+        crngs = self._crngs
+        rr_blk = self._rr_blk
+        rr_idx = self._rr_idx
+        if mode <= _P2C:
+            out_all = self._out
+            subm = self._subm
+            resp = self._resp
+            sel_rngs = self._sel_rngs
+        if mode == _P2C:
+            ew_all = self._ew_val
+            ew_init_all = self._ew_init
+            ew_cnt_all = self._ew_cnt
+            p2c_alpha = self.p2c_alpha
+        proc = self.proc
+        wrng = self.wrng
+        w_integers = wrng.integers
+        w_random = wrng.random
+        w_exponential = wrng.exponential
+        groups = self.groups
+        n_clients = self.n_clients
+        n_groups = self.n_groups
+        client_probs = self._client_probs
+        read_fraction = self.read_fraction
+        always_read = read_fraction >= 1.0
+        rr_cnt = self._rr_count
+        # Arrival-process state and the network model only change via
+        # scenario events, so both are hoisted here and re-derived after
+        # each generic Event callback rather than per event.  ``generated``
+        # is written back around callbacks and at slice end.
+        generated = proc.generated
+        total_arrivals = proc.total_arrivals
+        inv_rate = 1.0 / proc.rate_per_ms
+        network = sim.network
+        const_delay = network.delay_ms if type(network) is ConstantLatency else None
+        issued_delta = 0
+        completed_delta = 0
+        arr_t = self._arr_t
+        arr_seq = self._arr_seq
+        fired = 0
+        while True:
+            if heap:
+                entry = heap[0]
+                t = entry[0]
+                if arr_t < t or (arr_t == t and arr_seq < entry[1]):
+                    arrival = True
+                    t = arr_t
+                else:
+                    arrival = False
+            elif arr_t < _NEVER:
+                arrival = True
+                t = arr_t
+            else:
+                break
+            if t > until:
+                break
+            if arrival:
+                # Workload arrivals live as scalar state (at most one is ever
+                # pending, and arrival times are strictly increasing), so the
+                # hottest event class never touches the heap.  The seq is
+                # still consumed at the same stream position the object path
+                # consumed it, so (t, seq) ties against heap entries resolve
+                # identically.
+                fired += 1
+                generated += 1
+                if client_probs is None:
+                    cid = int(w_integers(n_clients))
+                else:
+                    cid = int(wrng.choice(n_clients, p=client_probs))
+                group = groups[int(w_integers(n_groups))]
+                kind = _READ if always_read or w_random() < read_fraction else _WRITE
+                rid = len(created)
+                created_app(t)
+                client_app(cid)
+                group_app(group)
+                kind_app(kind)
+                parent_app(-1)
+                disp_app(-1.0)
+                sid_app(-1)
+                comp_app(-1.0)
+                requests_handled[cid] += 1
+                issued_delta += 1
+                suspicious = tracker.count != 0 if binary else det.suspicious()
+                if suspicious or mode == _CUSTOM:
+                    self._submit(rid, cid, t)
+                else:
+                    # Inline submit + dispatch for the LOR/P2C/stock fast
+                    # modes (no liveness filtering needed, so the
+                    # dispatch-time re-check is also vacuous).
+                    if mode == _STOCK:
+                        out = None
+                        sel = sels[cid]
+                        sel.requests_submitted += 1
+                        sid = sel.choose(group, t)
+                        sel.record_send(sid, t)
+                    else:
+                        subm[cid] += 1
+                        out = out_all[cid]
+                        if mode == _LOR:
+                            # One pass: track the current minimum and lazily
+                            # build the tie list only when a tie exists, so
+                            # the common no-tie case touches no list
+                            # machinery.
+                            sid = -1
+                            lowest = 1 << 60
+                            tied = None
+                            for s in group:
+                                v = out[s]
+                                if v < lowest:
+                                    lowest = v
+                                    sid = s
+                                    tied = None
+                                elif v == lowest:
+                                    if tied is None:
+                                        tied = [sid, s]
+                                    else:
+                                        tied.append(s)
+                            if tied is not None:
+                                sid = tied[int(sel_rngs[cid].integers(len(tied)))]
+                        else:
+                            if len(group) == 1:
+                                sid = group[0]
+                            else:
+                                idx = sel_rngs[cid].choice(len(group), size=2, replace=False)
+                                a, b = group[int(idx[0])], group[int(idx[1])]
+                                ew = ew_all[cid]
+                                sid = a if out[a] + ew[a] <= out[b] + ew[b] else b
+                        out[sid] += 1
+                    disp[rid] = t
+                    sid_of[rid] = sid
+                    delay = const_delay
+                    if delay is None:
+                        delay = network.one_way_delay(cid, sid)
+                    push(heap, (t + delay, nxt(), _ENQUEUE, rid, sid, 0.0))
+                    if kind == _READ and rrp > 0.0:
+                        if hedged:
+                            coin = crngs[cid].random()
+                        else:
+                            block = rr_blk[cid]
+                            i = rr_idx[cid]
+                            if block is None or i >= _RR_BLOCK:
+                                block = rr_blk[cid] = crngs[cid].random(_RR_BLOCK)
+                                i = 0
+                            rr_idx[cid] = i + 1
+                            coin = block[i]
+                        if coin < rrp:
+                            # Inline fanout: the dispatch-time liveness
+                            # recheck of _rr_fanout/_dispatch is vacuous on
+                            # this not-suspicious path, the crashed-sibling
+                            # skip is not (phi can be calm while a server is
+                            # objectively down).
+                            down = tracker.count
+                            for s in group:
+                                if s == sid or (down and not servers[s]._up):
+                                    continue
+                                dup = len(created)
+                                created_app(t)
+                                client_app(cid)
+                                group_app(group)
+                                kind_app(_READ_REPAIR)
+                                parent_app(rid)
+                                disp_app(t)
+                                sid_app(s)
+                                comp_app(-1.0)
+                                self.duplicates += 1
+                                if out is not None:
+                                    out[s] += 1
+                                else:
+                                    sel.on_duplicate_send(s, t)
+                                delay = const_delay
+                                if delay is None:
+                                    delay = network.one_way_delay(cid, s)
+                                push(heap, (t + delay, nxt(), _ENQUEUE, dup, s, 0.0))
+                                rr_cnt[cid] += 1
+                    if hedged:
+                        self._maybe_hedge(rid, cid, t)
+                if generated < total_arrivals:
+                    gap = float(w_exponential(inv_rate))
+                    arr_t = t + gap
+                    arr_seq = nxt()
+                else:
+                    arr_t = _NEVER
+                continue
+            pop(heap)
+            code = entry[2]
+            if type(code) is not int:
+                # A generic Event (scenario component, fluctuation process).
+                event = code
+                event._loop = None
+                if event.cancelled:
+                    loop._dead -= 1
+                    continue
+                loop._now = t
+                fired += 1
+                proc.generated = generated
+                event.callback(*event.args, **event.kwargs)
+                generated = proc.generated
+                inv_rate = 1.0 / proc.rate_per_ms
+                network = sim.network
+                const_delay = network.delay_ms if type(network) is ConstantLatency else None
+                continue
+            # loop._now is deliberately NOT updated per typed event: nothing
+            # on the typed path reads the loop clock (handlers take ``t``
+            # explicitly), generic callbacks get it set above, and the
+            # trailing max() below restores it at slice end.
+            fired += 1
+            if code == _RESPONSE:
+                rid = entry[3]
+                cid = client_of[rid]
+                sid = sid_of[rid]
+                responses_handled[cid] += 1
+                if not binary:
+                    det.heartbeat(sid, t)
+                if comp[rid] < 0.0:
+                    comp[rid] = t
+                dispatched = disp[rid]
+                response_time = t - dispatched if dispatched >= 0.0 else t - created[rid]
+                released = None
+                if mode == _LOR:
+                    resp[cid] += 1
+                    out = out_all[cid]
+                    if out[sid] > 0:
+                        out[sid] -= 1
+                elif mode == _P2C:
+                    resp[cid] += 1
+                    out = out_all[cid]
+                    if out[sid] > 0:
+                        out[sid] -= 1
+                    ew = ew_all[cid]
+                    if ew_init_all[cid][sid]:
+                        ew[sid] = p2c_alpha * float(entry[4]) + (1.0 - p2c_alpha) * ew[sid]
+                    else:
+                        ew[sid] = float(entry[4])
+                        ew_init_all[cid][sid] = True
+                    ew_cnt_all[cid][sid] += 1
+                elif mode == _STOCK:
+                    sel = sels[cid]
+                    sel.responses_received += 1
+                    sel.record_response(
+                        sid, ServerFeedback(entry[4], entry[5], sid), response_time, t
+                    )
+                else:
+                    released = sels[cid].on_response(
+                        sid, ServerFeedback(entry[4], entry[5], sid), response_time, t
+                    )
+                if hedged:
+                    self._hedge_complete(rid, cid, sid, response_time, t)
+                else:
+                    srv_times[sid].append(t)
+                    if parent_of[rid] < 0:
+                        latency = comp[rid] - created[rid]
+                        if exact:
+                            completed_delta += 1
+                            lat_all.append(latency)
+                            if kind_of[rid] == _WRITE:
+                                lat_write.append(latency)
+                            else:
+                                lat_read.append(latency)
+                        else:
+                            self._record_latency(rid, latency)
+                if released:
+                    for pending_rid, pending_sid in released:
+                        self._send(pending_rid, cid, pending_sid, t)
+                if mode == _CUSTOM:
+                    sel = sels[cid]
+                    if sel.pending_backlog() > 0:
+                        self._schedule_retry(cid, sel.next_retry_ms(t) or _MIN_RETRY_MS, t)
+            elif code == _FINISH:
+                rid = entry[3]
+                sid = entry[4]
+                service_time = entry[5]
+                server = servers[sid]
+                ins = server._in_service - 1
+                server._in_service = ins
+                reqc[sid] += 1
+                busy[sid] += service_time
+                alpha = alpha_all[sid]
+                value = alpha * service_time + (1.0 - alpha) * ewv[sid]
+                ewv[sid] = value
+                ewc[sid] += 1
+                queue = q_all[sid]
+                qsize = len(queue) + ins
+                stime = value if value > 1e-3 else 1e-3
+                if queue and server._up and ins < conc_all[sid]:
+                    concurrency = conc_all[sid]
+                    server_rng = srng_all[sid]
+                    deterministic = det_all[sid]
+                    mean = (base_all[sid] * server._service_time_multiplier) * size_factor
+                    block = server._svc_block
+                    i = server._svc_i
+                    while ins < concurrency and queue:
+                        next_rid = queue.popleft()
+                        ins += 1
+                        if deterministic:
+                            st = mean
+                        else:
+                            if block is None or i >= _SVC_BLOCK:
+                                block = server._svc_block = server_rng.standard_exponential(
+                                    _SVC_BLOCK
+                                )
+                                i = 0
+                            st = float(mean * block[i])
+                            i += 1
+                        push(heap, (t + st, nxt(), _FINISH, next_rid, sid, st))
+                    server._in_service = ins
+                    server._svc_i = i
+                cid = client_of[rid]
+                delay = const_delay
+                if delay is None:
+                    delay = network.one_way_delay(sid, cid)
+                push(heap, (t + delay, nxt(), _RESPONSE, rid, qsize, stime))
+            elif code == _ENQUEUE:
+                rid = entry[3]
+                sid = entry[4]
+                server = servers[sid]
+                up = server._up
+                if not up:
+                    server.enqueued_while_down += 1
+                reqr[sid] += 1
+                queue = q_all[sid]
+                ins = server._in_service
+                pending = len(queue) + ins
+                cqs[sid] += pending
+                qs[sid] += 1
+                pending += 1
+                if pending > maxq[sid]:
+                    maxq[sid] = pending
+                # Queued requests imply no free slot (start_service always
+                # drains), so a free slot here means the queue is empty and
+                # this request starts service immediately.
+                if up and ins < conc_all[sid]:
+                    server._in_service = ins + 1
+                    mean = (base_all[sid] * server._service_time_multiplier) * size_factor
+                    if det_all[sid]:
+                        st = mean
+                    else:
+                        block = server._svc_block
+                        i = server._svc_i
+                        if block is None or i >= _SVC_BLOCK:
+                            block = server._svc_block = srng_all[sid].standard_exponential(
+                                _SVC_BLOCK
+                            )
+                            i = 0
+                        st = float(mean * block[i])
+                        server._svc_i = i + 1
+                    push(heap, (t + st, nxt(), _FINISH, rid, sid, st))
+                else:
+                    queue.append(rid)
+            elif code == _HEDGE:
+                self._on_hedge(entry[1], entry[3], entry[4], t)
+            elif code == _RETRY:
+                self._on_retry(entry[3], t)
+            else:
+                self._on_parked(entry[3], t)
+        if arr_t > until and (not heap or heap[0][0] > until):
+            loop._now = max(loop._now, until)
+        loop._processed += fired
+        self._arr_t = arr_t
+        self._arr_seq = arr_seq
+        proc.generated = generated
+        self.issued += issued_delta
+        self.completed += completed_delta
+
+    # ------------------------------------------------------------- liveness
+    def _suspicious(self) -> bool:
+        if self._binary:
+            return self.tracker.count != 0
+        return self.det.suspicious()
+
+    # ------------------------------------------------------------- requests
+    def _new_request(self, cid: int, group: tuple, t: float, kind: int, parent: int) -> int:
+        rid = len(self._created)
+        self._created.append(t)
+        self._client.append(cid)
+        self._group.append(group)
+        self._kind.append(kind)
+        self._parent.append(parent)
+        self._disp.append(-1.0)
+        self._sid.append(-1)
+        self._comp.append(-1.0)
+        return rid
+
+    def _submit(self, rid: int, cid: int, t: float) -> None:
+        candidates = self._group[rid]
+        if self._suspicious():
+            if self._binary:
+                servers = self.servers
+                live = tuple(s for s in candidates if servers[s]._up)
+            else:
+                det = self.det
+                live = tuple(s for s in candidates if det.is_alive(s, t))
+            if not live:
+                self._park(rid, cid, t)
+                return
+            candidates = live
+        mode = self.mode
+        if mode == _LOR:
+            self._subm[cid] += 1
+            out = self._out[cid]
+            lowest = min(out[s] for s in candidates)
+            tied = [s for s in candidates if out[s] == lowest]
+            if len(tied) == 1:
+                sid = tied[0]
+            else:
+                sid = tied[int(self._sel_rngs[cid].integers(len(tied)))]
+            out[sid] += 1
+            self._send(rid, cid, sid, t)
+        elif mode == _P2C:
+            self._subm[cid] += 1
+            out = self._out[cid]
+            if len(candidates) == 1:
+                sid = candidates[0]
+            else:
+                idx = self._sel_rngs[cid].choice(len(candidates), size=2, replace=False)
+                a, b = candidates[int(idx[0])], candidates[int(idx[1])]
+                ew = self._ew_val[cid]
+                sid = a if out[a] + ew[a] <= out[b] + ew[b] else b
+            out[sid] += 1
+            self._send(rid, cid, sid, t)
+        elif mode == _STOCK:
+            sel = self._sels[cid]
+            sel.requests_submitted += 1
+            sid = sel.choose(candidates, t)
+            sel.record_send(sid, t)
+            self._send(rid, cid, sid, t)
+        else:
+            decision = self._sels[cid].kernel_submit(rid, candidates, t)
+            sid = decision.server_id
+            if sid is not None:
+                self._send(rid, cid, sid, t)
+            else:
+                self.backpressure += 1
+                self._schedule_retry(cid, decision.retry_after_ms, t)
+
+    def _send(self, rid: int, cid: int, sid: int, t: float) -> None:
+        self._dispatch(rid, cid, sid, t)
+        self._read_repair(rid, cid, t)
+        if self._hedged:
+            self._maybe_hedge(rid, cid, t)
+
+    def _dispatch(self, rid: int, cid: int, sid: int, t: float) -> None:
+        if self._suspicious():
+            alive = self.servers[sid]._up if self._binary else self.det.is_alive(sid, t)
+            if not alive:
+                # A selector-internal placement (backlog drain) raced with a
+                # crash: release the selector's accounting and park.
+                self._sel_timeout(cid, sid, t)
+                self._park(rid, cid, t)
+                return
+        self._disp[rid] = t
+        self._sid[rid] = sid
+        network = self.sim.network
+        delay = (
+            network.delay_ms
+            if type(network) is ConstantLatency
+            else network.one_way_delay(cid, sid)
+        )
+        heappush(self.heap, (t + delay, next(self.seq), _ENQUEUE, rid, sid, 0.0))
+
+    def _sel_timeout(self, cid: int, sid: int, t: float) -> None:
+        if self.mode <= _P2C:
+            out = self._out[cid]
+            if out[sid] > 0:
+                out[sid] -= 1
+        else:
+            self._sels[cid].on_timeout(sid, t)
+
+    def _read_repair(self, rid: int, cid: int, t: float) -> None:
+        if self._kind[rid] != _READ or self._parent[rid] >= 0:
+            return
+        rrp = self.rrp
+        if rrp <= 0.0:
+            return
+        if self._hedged:
+            # The client RNG interleaves coins with hedge-target draws, so
+            # stay on the scalar stream.
+            coin = self._crngs[cid].random()
+        else:
+            block = self._rr_blk[cid]
+            i = self._rr_idx[cid]
+            if block is None or i >= len(block):
+                block = self._rr_blk[cid] = self._crngs[cid].random(_RR_BLOCK)
+                i = 0
+            self._rr_idx[cid] = i + 1
+            coin = block[i]
+        if coin >= rrp:
+            return
+        self._rr_fanout(rid, cid, t)
+
+    def _rr_fanout(self, rid: int, cid: int, t: float) -> None:
+        """Send read-repair duplicates to the primary's live siblings."""
+        down = self.tracker.count
+        primary_sid = self._sid[rid]
+        group = self._group[rid]
+        servers = self.servers
+        fast = self.mode <= _P2C
+        for sid in group:
+            if sid == primary_sid:
+                continue
+            if down and not servers[sid]._up:
+                continue
+            duplicate = self._new_request(cid, group, t, _READ_REPAIR, rid)
+            self.duplicates += 1
+            if fast:
+                self._out[cid][sid] += 1
+            else:
+                self._sels[cid].on_duplicate_send(sid, t)
+            self._dispatch(duplicate, cid, sid, t)
+            self._rr_count[cid] += 1
+
+    # -------------------------------------------------------------- hedging
+    def _maybe_hedge(self, rid: int, cid: int, t: float) -> None:
+        policy = self._policies[cid]
+        if policy is None:
+            return
+        if self._kind[rid] != _READ or self._parent[rid] >= 0:
+            return
+        sid = self._sid[rid]
+        if sid < 0 or rid in self._hedge_ops[cid]:
+            return
+        threshold = policy.threshold_ms()
+        if threshold is None:
+            return
+        seq = next(self.seq)
+        heappush(self.heap, (t + threshold, seq, _HEDGE, cid, rid, 0.0))
+        self._hedge_ops[cid][rid] = [False, 0, {sid}, seq]
+
+    def _on_hedge(self, seq: int, cid: int, rid: int, t: float) -> None:
+        op = self._hedge_ops[cid].get(rid)
+        if op is None or op[_OP_DONE] or op[_OP_ARMED] != seq:
+            return
+        op[_OP_ARMED] = None
+        policy = self._policies[cid]
+        group = self._group[rid]
+        used = op[_OP_USED]
+        if self._binary:
+            servers = self.servers
+            candidates = tuple(s for s in group if s not in used and servers[s]._up)
+        else:
+            det = self.det
+            candidates = tuple(s for s in group if s not in used and det.is_alive(s, t))
+        if not candidates:
+            # Every unused replica is currently suspect; keep the timer armed
+            # while budget remains (see SimClient._fire_hedge).
+            self._rearm_hedge(cid, rid, op, policy, t)
+            return
+        target = candidates[int(self._crngs[cid].integers(len(candidates)))]
+        duplicate = self._new_request(cid, group, t, _SPECULATIVE, rid)
+        used.add(target)
+        op[_OP_FIRED] += 1
+        self._hedge_by_copy[cid][duplicate] = rid
+        self.duplicates += 1
+        self._hedges_fired[cid] += 1
+        if self.mode <= _P2C:
+            self._out[cid][target] += 1
+        else:
+            self._sels[cid].on_duplicate_send(target, t)
+        self._dispatch(duplicate, cid, target, t)
+        self._rearm_hedge(cid, rid, op, policy, t)
+
+    def _rearm_hedge(self, cid: int, rid: int, op: list, policy, t: float) -> None:
+        if op[_OP_FIRED] < policy.max_extra:
+            threshold = policy.threshold_ms()
+            if threshold is not None:
+                seq = next(self.seq)
+                heappush(self.heap, (t + threshold, seq, _HEDGE, cid, rid, 0.0))
+                op[_OP_ARMED] = seq
+
+    def _hedge_complete(self, rid: int, cid: int, sid: int, response_time: float, t: float) -> None:
+        # Server load is credited per response, at the response's own time.
+        self._srv_times[sid].append(t)
+        primary = self._hedge_by_copy[cid].pop(rid, None)
+        comp = self._comp
+        if primary is not None:
+            op = self._hedge_ops[cid].get(primary)
+            if op is None or op[_OP_DONE]:
+                return
+            op[_OP_DONE] = True
+            self._hedges_won[cid] += 1
+            if comp[primary] < 0.0:
+                comp[primary] = t
+            dispatched = self._disp[primary]
+            if dispatched >= 0.0:
+                self._policies[cid].record(t - dispatched)
+            if self._parent[primary] < 0:
+                self._record_latency(primary, comp[primary] - self._created[primary])
+            return
+        op = self._hedge_ops[cid].pop(rid, None)
+        if op is not None and op[_OP_DONE]:
+            return
+        if self._kind[rid] == _READ and self._parent[rid] < 0:
+            self._policies[cid].record(response_time)
+        if self._parent[rid] < 0:
+            self._record_latency(rid, comp[rid] - self._created[rid])
+
+    # -------------------------------------------------------------- servers
+    def start_service(self, server: SimServer) -> None:
+        """Start queued requests while slots are free (block-drawn times).
+
+        Also the target of :meth:`KernelServer._try_start_service`, so
+        scenario ``restore()`` calls drain through the same stream.
+        """
+        queue = server._queue
+        if not queue or not server._up or server._in_service >= server.concurrency:
+            return
+        t = self.loop._now
+        heap = self.heap
+        seq = self.seq
+        sid = server.server_id
+        rng = server.rng
+        size_factor = self.size_factor
+        concurrency = server.concurrency
+        block = server._svc_block
+        i = server._svc_i
+        while server._up and server._in_service < concurrency and queue:
+            rid = queue.popleft()
+            server._in_service += 1
+            mean = (server.base_service_time_ms * server._service_time_multiplier) * size_factor
+            if server.deterministic:
+                service_time = mean
+            else:
+                if block is None or i >= len(block):
+                    block = server._svc_block = rng.standard_exponential(_SVC_BLOCK)
+                    i = 0
+                service_time = float(mean * block[i])
+                i += 1
+            heappush(heap, (t + service_time, next(seq), _FINISH, rid, sid, service_time))
+        server._svc_i = i
+
+    def _record_latency(self, rid: int, latency: float) -> None:
+        self.completed += 1
+        if self._exact:
+            self._lat_all.append(latency)
+            if self._kind[rid] == _WRITE:
+                self._lat_write.append(latency)
+            else:
+                self._lat_read.append(latency)
+        else:
+            metrics = self.metrics
+            metrics._histogram.record(latency)
+            if self._kind[rid] == _WRITE:
+                metrics._write_histogram.record(latency)
+            else:
+                metrics._read_histogram.record(latency)
+
+    # ------------------------------------------------------ parking / retries
+    def _park(self, rid: int, cid: int, t: float) -> None:
+        self.backpressure += 1
+        self._parked_cnt[cid] += 1
+        self._parked[cid].append(rid)
+        if not self._parked_armed[cid]:
+            self._parked_armed[cid] = True
+            self._push(t + _PARKED_RETRY_MS, _PARKED, cid, 0, 0.0)
+
+    def _on_parked(self, cid: int, t: float) -> None:
+        self._parked_armed[cid] = False
+        parked = self._parked[cid]
+        self._parked[cid] = []
+        for rid in parked:
+            self._submit(rid, cid, t)
+
+    def _schedule_retry(self, cid: int, delay_ms: float, t: float) -> None:
+        if self._retry_armed[cid]:
+            return
+        self._retry_armed[cid] = True
+        delay = float(delay_ms)
+        if delay < _MIN_RETRY_MS:
+            delay = _MIN_RETRY_MS
+        self._push(t + delay, _RETRY, cid, 0, 0.0)
+
+    def _on_retry(self, cid: int, t: float) -> None:
+        self._retry_armed[cid] = False
+        sel = self._sels[cid]
+        for rid, sid in sel.drain_backlog(t):
+            self._send(rid, cid, sid, t)
+        if sel.pending_backlog() > 0:
+            retry = sel.next_retry_ms(t)
+            self._schedule_retry(cid, retry if retry is not None else 1.0, t)
+
+    # ------------------------------------------------------------- write-back
+    def _sync_back(self) -> None:
+        """Fold kernel-local state back into the object graph.
+
+        After this, ``sim.metrics``, every ``SimClient`` counter, and the
+        LOR/P2C selector state match what the object path would have left
+        behind, so ``stats()``/``result()`` work unchanged.
+        """
+        metrics = self.metrics
+        if self._exact:
+            metrics._latencies = self._lat_all
+            metrics._read_latencies = self._lat_read
+            metrics._write_latencies = self._lat_write
+        metrics.completed_requests = self.completed
+        metrics.issued_requests = self.issued
+        metrics.duplicate_requests = self.duplicates
+        metrics.backpressure_events = self.backpressure
+        for sid, server in enumerate(self.servers):
+            server.requests_received = self._s_reqr[sid]
+            server.requests_completed = self._s_reqc[sid]
+            server.busy_time_ms = self._s_busy[sid]
+            server.cumulative_queue_samples = self._s_cqs[sid]
+            server.queue_samples = self._s_qs[sid]
+            server.max_queue_length = self._s_maxq[sid]
+            ewma = server._service_time_ewma
+            ewma._value = self._s_ewv[sid]
+            ewma._count = self._s_ewc[sid]
+        for sid, times in enumerate(self._srv_times):
+            if times:
+                counter = WindowedCounter(metrics.window_ms)
+                counter.record_batch(np.asarray(times, dtype=float))
+                metrics._per_server_windows[sid] = counter
+                metrics._per_server_completed[sid] += len(times)
+
+        self.gen.requests_generated = self.proc.generated
+        for cid, client in enumerate(self.sim.clients):
+            client.requests_handled = self._requests_handled[cid]
+            client.responses_handled = self._responses_handled[cid]
+            client.read_repairs_issued = self._rr_count[cid]
+            client.requests_parked = self._parked_cnt[cid]
+            client.hedges_fired = self._hedges_fired[cid]
+            client.hedges_won = self._hedges_won[cid]
+        if self.mode == _LOR:
+            for cid, sel in enumerate(self._sels):
+                sel.kernel_restore(self._out[cid], self._subm[cid], self._resp[cid])
+        elif self.mode == _P2C:
+            for cid, sel in enumerate(self._sels):
+                sel.kernel_restore(
+                    self._out[cid],
+                    self._ew_val[cid],
+                    self._ew_init[cid],
+                    self._ew_cnt[cid],
+                    self._subm[cid],
+                    self._resp[cid],
+                )

@@ -53,6 +53,27 @@ class WindowedCounter:
             raise ValueError("time_ms must be non-negative")
         self._counts[int(time_ms // self.window_ms)] += count
 
+    def record_batch(self, times_ms: np.ndarray) -> None:
+        """Record one event at each time in ``times_ms`` (vectorized scatter).
+
+        Equivalent to ``for t in times_ms: self.record(t)`` — the window
+        index is the same floor division — but the bucketing happens in
+        numpy: one ``//``, one :func:`numpy.unique`, and one dict update per
+        *distinct window* instead of per event.  The batched simulator
+        kernel accumulates per-server completion times in flat arrays and
+        flushes them through here at end of run.
+        """
+        if times_ms.size == 0:
+            return
+        if float(times_ms.min()) < 0:
+            raise ValueError("time_ms must be non-negative")
+        windows, counts = np.unique(
+            (times_ms // self.window_ms).astype(np.int64), return_counts=True
+        )
+        sparse = self._counts
+        for window, count in zip(windows.tolist(), counts.tolist()):
+            sparse[window] += count
+
     def counts(self, horizon_ms: float | None = None) -> np.ndarray:
         """Dense per-window counts from window 0 to the last observed window.
 
@@ -271,7 +292,20 @@ class MetricsCollector:
         self.backpressure_events += 1
 
     def on_complete(self, request: Request, now: float) -> None:
-        """Record a completed request and its server-side load contribution."""
+        """Record a completed request and its server-side load contribution.
+
+        This is the non-hedged fast path: the serving replica answered and
+        the client-visible completion happened at the same instant, so both
+        sides are recorded together.  Hedged completions split the two —
+        :meth:`on_server_complete` when a server actually responds (winner,
+        straggler, or duplicate alike) and :meth:`on_client_complete` once
+        at first-response-wins time.
+        """
+        self.on_server_complete(request, now)
+        self.on_client_complete(request)
+
+    def on_server_complete(self, request: Request, now: float) -> None:
+        """Credit the serving server one windowed-load completion at ``now``."""
         server_id = request.server_id
         if server_id is not None:
             counter = self._per_server_windows.get(server_id)
@@ -280,6 +314,13 @@ class MetricsCollector:
                 self._per_server_windows[server_id] = counter
             counter.record(now)
             self._per_server_completed[server_id] += 1
+
+    def on_client_complete(self, request: Request) -> None:
+        """Record the client-visible completion latency (no server credit).
+
+        Duplicates (read repair, speculative copies) never enter the latency
+        distribution; incomplete requests are ignored.
+        """
         if request.is_duplicate:
             return
         latency = request.latency

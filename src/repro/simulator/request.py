@@ -4,10 +4,14 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Iterator
 
 __all__ = ["Request", "RequestKind", "request_id_counter"]
 
+#: Process-wide fallback id source.  Simulations pass their own per-run
+#: counter (``id_source``) so request ids are reproducible run-to-run —
+#: a pooled worker that reuses a process must hand out the same ids a
+#: fresh serial run would.
 request_id_counter = itertools.count()
 
 
@@ -80,10 +84,15 @@ class Request:
         key: int | None = None,
         record_size: int = 1024,
         parent_id: int | None = None,
+        id_source: Iterator[int] | None = None,
     ) -> "Request":
-        """Create a request with a fresh globally-unique id."""
+        """Create a request with a fresh id from ``id_source``.
+
+        ``id_source`` defaults to the process-global counter; simulations
+        supply their own per-run counter for run-to-run reproducible ids.
+        """
         return cls(
-            request_id=next(request_id_counter),
+            request_id=next(id_source if id_source is not None else request_id_counter),
             client_id=client_id,
             replica_group=tuple(replica_group),
             created_at=created_at,
@@ -119,5 +128,12 @@ class Request:
         self.attempts += 1
 
     def mark_completed(self, now: float) -> None:
-        """Record completion at ``now``."""
-        self.completed_at = now
+        """Record completion at ``now`` — the first completion wins.
+
+        Under hedging (first-response-wins) a straggling response for an
+        already-completed request must not overwrite the winning timestamp:
+        ``Request.latency`` has to agree with the latency the metrics
+        recorded at win time.
+        """
+        if self.completed_at is None:
+            self.completed_at = now

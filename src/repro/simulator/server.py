@@ -232,18 +232,28 @@ class SimServer:
             return 1.0
         return max(0.25, request.record_size / 1024.0)
 
+    def feedback_snapshot(self) -> ServerFeedback:
+        """The queue/service-time feedback piggy-backed on a response.
+
+        Recorded after the completed request has released its service slot
+        and *before* the next queued request is started (per §3.1): the
+        queue size a departing response reports includes neither the request
+        it rides on nor any slot-refill that its departure enables.  The
+        batched kernel snapshots the same two values at the same point in
+        its completion handler.
+        """
+        return ServerFeedback(
+            queue_size=self.pending_requests,
+            service_time=max(self.smoothed_service_time, 1e-3),
+            server_id=self.server_id,
+        )
+
     def _finish_service(self, request: Request, service_time: float) -> None:
         self._in_service -= 1
         self.requests_completed += 1
         self.busy_time_ms += service_time
         self._service_time_ewma.update(service_time)
-        # Feedback is recorded after the request has been serviced, just
-        # before the response is dispatched (per §3.1).
-        feedback = ServerFeedback(
-            queue_size=self.pending_requests,
-            service_time=max(self.smoothed_service_time, 1e-3),
-            server_id=self.server_id,
-        )
+        feedback = self.feedback_snapshot()
         self._try_start_service()
         if self.on_complete is not None:
             self.on_complete(request, feedback, service_time)

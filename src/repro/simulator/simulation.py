@@ -9,6 +9,7 @@ together and runs the event loop until every generated request completes.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field, replace
 from typing import Any, Hashable, Mapping
 
@@ -18,7 +19,7 @@ from ..controls import ControlSpec
 from ..core.config import C3Config
 from ..strategies import StrategySpec
 from .client import SimClient
-from .engine import EventLoop
+from .engine import BatchedEventLoop, EventLoop
 from .fluctuation import BimodalFluctuation
 from .metrics import METRICS_MODES, MetricsCollector, SimulationResult
 from .network import ConstantLatency, NetworkModel
@@ -26,7 +27,10 @@ from .request import Request
 from .server import DownServerTracker, SimServer
 from .workload import DemandSkew, WorkloadGenerator, replica_groups
 
-__all__ = ["SimulationConfig", "ReplicaSelectionSimulation", "run_simulation"]
+__all__ = ["KERNELS", "SimulationConfig", "ReplicaSelectionSimulation", "run_simulation"]
+
+#: Valid values of ``SimulationConfig.kernel``.
+KERNELS = ("object", "batched")
 
 
 @dataclass(slots=True)
@@ -53,6 +57,11 @@ class SimulationConfig:
     "params": {...}}``), or a :class:`~repro.strategies.StrategySpec`; it is
     normalized to the canonical spec string at construction, so bare names
     stay byte-identical in payloads, cache keys, and golden digests.
+
+    ``kernel`` selects the event-processing engine: ``"object"`` (the
+    default — Event objects calling client/server methods) or ``"batched"``
+    (the typed-tuple hot-path kernel in :mod:`repro.simulator.kernel`,
+    several times faster and digest-identical by construction).
 
     ``failure_detector`` and ``hedging`` address registered controls (see
     :mod:`repro.controls`) through the same spec grammar.  The defaults —
@@ -91,6 +100,7 @@ class SimulationConfig:
     histogram_relative_error: float = 0.01
     failure_detector: "str | Mapping[str, Any] | ControlSpec" = "binary"
     hedging: "str | Mapping[str, Any] | ControlSpec | None" = None
+    kernel: str = "object"
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -120,6 +130,8 @@ class SimulationConfig:
             )
         if not 0.0 < self.histogram_relative_error < 1.0:
             raise ValueError("histogram_relative_error must be in (0, 1)")
+        if self.kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r}; choose one of {KERNELS}")
         if self.scenario is not None:
             from ..scenarios.registry import validate_scenario
 
@@ -183,7 +195,7 @@ class ReplicaSelectionSimulation:
 
     def __init__(self, config: SimulationConfig) -> None:
         self.config = config
-        self.loop = EventLoop()
+        self.loop = BatchedEventLoop() if config.kernel == "batched" else EventLoop()
         self.rng = np.random.default_rng(config.seed)
         self.metrics = MetricsCollector(
             window_ms=config.load_window_ms,
@@ -205,9 +217,18 @@ class ReplicaSelectionSimulation:
     # ---------------------------------------------------------------- assembly
     def _build(self) -> None:
         cfg = self.config
+        # Per-simulation request-id counter: ids always start at 0 for a
+        # run, so pooled workers that reuse a process hand out exactly the
+        # ids a fresh serial run would (reproducible traces/artifacts).
+        self._request_ids = itertools.count()
+        server_cls = SimServer
+        if cfg.kernel == "batched":
+            from .kernel import KernelServer
+
+            server_cls = KernelServer
         for sid in range(cfg.num_servers):
             server_rng = np.random.default_rng(self.rng.integers(2**63))
-            server = SimServer(
+            server = server_cls(
                 loop=self.loop,
                 server_id=sid,
                 base_service_time_ms=cfg.mean_service_time_ms,
@@ -251,6 +272,7 @@ class ReplicaSelectionSimulation:
                 down_tracker=self.down_tracker,
                 failure_detector=self.failure_detector,
                 hedging=hedging_spec.build() if hedging_spec is not None else None,
+                id_source=self._request_ids,
             )
             self.clients.append(client)
 
@@ -284,6 +306,7 @@ class ReplicaSelectionSimulation:
             read_fraction=cfg.read_fraction,
             record_size=cfg.record_size,
             rng=workload_rng,
+            id_source=self._request_ids,
         )
 
         if self.scenario is not None:
@@ -317,6 +340,10 @@ class ReplicaSelectionSimulation:
     def run(self) -> SimulationResult:
         """Run the scenario to completion and return the collected metrics."""
         cfg = self.config
+        if cfg.kernel == "batched":
+            from .kernel import BatchedKernel
+
+            return BatchedKernel(self).run()
         if self.scenario is not None:
             self.scenario.start(self._scenario_ctx)
         elif self.fluctuation is not None:

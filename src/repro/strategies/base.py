@@ -62,6 +62,21 @@ class ReplicaSelector(ABC):
         backlogged requests released by this response.
         """
 
+    def kernel_submit(
+        self, request: object, replica_group: Sequence[Hashable], now: float
+    ) -> object:
+        """Placement entry point used by the batched simulator kernel.
+
+        Must return an object exposing ``server_id`` (``None`` means
+        backpressured) and ``retry_after_ms`` — by default the
+        :class:`SelectorDecision` from :meth:`submit`.  Strategies whose
+        ``submit`` merely re-wraps an internal decision object (C3) override
+        this to return that object directly, skipping one allocation per
+        request on the hot path.  Behavior must stay identical to
+        :meth:`submit`.
+        """
+        return self.submit(request, replica_group, now)
+
     def on_timeout(self, server_id: Hashable, now: float) -> None:
         """Account for a request that will never complete.  Optional."""
 

@@ -116,6 +116,12 @@ class C3Selector(ReplicaSelector):
             retry_after_ms=decision.retry_after_ms,
         )
 
+    def kernel_submit(self, request: object, replica_group: Sequence[Hashable], now: float) -> object:
+        # The scheduler's ScheduleDecision already carries server_id /
+        # retry_after_ms; the batched kernel reads those directly, so the
+        # SelectorDecision re-wrap above is pure overhead on its hot path.
+        return self.scheduler.submit(request, replica_group, now)
+
     def on_duplicate_send(self, server_id: Hashable, now: float) -> None:
         # Read-repair duplicates occupy the server and will generate
         # feedback, so they must be reflected in the outstanding count even

@@ -79,3 +79,21 @@ class LeastOutstandingSelector(StatefulSelector):
         stats = super().stats()
         stats["outstanding_total"] = sum(self._outstanding.values())
         return stats
+
+    # ------------------------------------------------------ batched-kernel seam
+    def kernel_state(self, num_servers: int) -> list[int]:
+        """Outstanding counts as a dense list indexed by (integer) server id.
+
+        The batched kernel scores replica groups over this contiguous array
+        instead of the defaultdict, then hands the final counts back through
+        :meth:`kernel_restore` so post-run :meth:`stats` are unchanged.
+        """
+        return [self._outstanding[sid] for sid in range(num_servers)]
+
+    def kernel_restore(self, outstanding: Sequence[int], submitted: int, responses: int) -> None:
+        """Fold the kernel's dense per-server state back into the selector."""
+        self.requests_submitted = submitted
+        self.responses_received = responses
+        for sid, count in enumerate(outstanding):
+            if count:
+                self._outstanding[sid] = count

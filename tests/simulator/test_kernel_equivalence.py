@@ -1,0 +1,147 @@
+"""Object-vs-batched kernel equivalence.
+
+The batched kernel (``SimulationConfig(kernel="batched")``) is a pure
+performance substitution: it consumes every RNG stream at exactly the same
+positions as the object path, so exact-mode runs must be digest-identical
+event for event.  These tests pin that contract three ways:
+
+* a curated matrix of configurations covering every selector mode the
+  kernel special-cases (LOR / P2C dense state, stock selectors, the C3
+  scheduler), plus the hard paths — crash/recovery liveness filtering,
+  phi-accrual suspicion, hedged reads, read-repair fan-out, backpressure
+  parking, demand skew, streaming metrics;
+* a hypothesis property over random small configurations, so the
+  equivalence is not an artifact of hand-picked parameters;
+* a unit test for :meth:`WindowedCounter.record_batch`, the vectorized
+  scatter the kernel uses to rebuild per-server load series at sync-back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulator.metrics import WindowedCounter
+from repro.simulator.simulation import ReplicaSelectionSimulation, SimulationConfig
+from repro.simulator.workload import DemandSkew
+
+
+def _digest(kernel: str, **kw) -> str:
+    config = SimulationConfig(kernel=kernel, **kw)
+    return ReplicaSelectionSimulation(config).run().digest()
+
+
+def assert_kernels_equivalent(**kw) -> None:
+    assert _digest("object", **kw) == _digest("batched", **kw)
+
+
+PLAIN = dict(num_servers=10, num_clients=12, num_requests=1200, seed=7)
+HARD = dict(num_servers=10, num_clients=12, num_requests=2000, seed=11)
+
+#: Every selector mode and every rare-path feature the kernel handles.
+MATRIX = {
+    "plain-lor": dict(PLAIN, strategy="LOR"),
+    "plain-p2c": dict(PLAIN, strategy="P2C"),
+    "plain-c3": dict(PLAIN, strategy="C3"),
+    "plain-rr": dict(PLAIN, strategy="RR"),
+    "plain-rand": dict(PLAIN, strategy="RAND"),
+    "oracle": dict(PLAIN, strategy="ORA"),
+    "snitch": dict(PLAIN, strategy="DS"),
+    "crash-c3": dict(HARD, strategy="C3", scenario="crash-recovery"),
+    "phi-crash-lor": dict(
+        HARD, strategy="LOR", scenario="crash-recovery", failure_detector="phi"
+    ),
+    "hedge-c3": dict(HARD, strategy="C3", hedging="hedge:quantile=0.9"),
+    "hedge-crash-lor": dict(
+        HARD, strategy="LOR", scenario="crash-recovery", hedging="hedge:quantile=0.9"
+    ),
+    "skew-p2c": dict(
+        HARD,
+        strategy="P2C",
+        read_fraction=0.7,
+        demand_skew=DemandSkew(client_fraction=0.2, demand_fraction=0.8),
+    ),
+    "streaming-c3": dict(HARD, strategy="C3", metrics_mode="streaming"),
+    "backpressure-c3": dict(
+        PLAIN, strategy="C3:initial_rate=0.1,min_rate=0.1,max_rate=0.1"
+    ),
+    # Every replica of the only group crashes at once: requests park until
+    # the restore drains them through KernelServer._try_start_service.
+    "parked-hedge-c3": dict(
+        num_servers=3,
+        num_clients=6,
+        num_requests=1200,
+        seed=3,
+        strategy="C3",
+        scenario="crash-recovery",
+        hedging="hedge:quantile=0.9",
+        scenario_params={"targets": [0, 1, 2], "down_ms": 300.0, "stagger_ms": 0.0},
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(MATRIX))
+def test_batched_kernel_matches_object_kernel(name):
+    assert_kernels_equivalent(**MATRIX[name])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_servers=st.integers(min_value=3, max_value=8),
+    num_clients=st.integers(min_value=2, max_value=8),
+    num_requests=st.integers(min_value=50, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    strategy=st.sampled_from(["LOR", "P2C", "C3", "RR", "RAND", "ORA", "LRT", "WRAND"]),
+    utilization=st.floats(min_value=0.3, max_value=0.9),
+    read_repair_probability=st.floats(min_value=0.0, max_value=0.6),
+    read_fraction=st.floats(min_value=0.5, max_value=1.0),
+)
+def test_batched_kernel_matches_object_kernel_property(
+    num_servers,
+    num_clients,
+    num_requests,
+    seed,
+    strategy,
+    utilization,
+    read_repair_probability,
+    read_fraction,
+):
+    assert_kernels_equivalent(
+        num_servers=num_servers,
+        num_clients=num_clients,
+        num_requests=num_requests,
+        seed=seed,
+        strategy=strategy,
+        utilization=utilization,
+        read_repair_probability=read_repair_probability,
+        read_fraction=read_fraction,
+    )
+
+
+def test_invalid_kernel_rejected():
+    with pytest.raises(ValueError, match="kernel"):
+        SimulationConfig(kernel="vectorised")
+
+
+class TestRecordBatch:
+    def test_matches_scalar_record(self):
+        rng = np.random.default_rng(5)
+        times = rng.uniform(0.0, 1000.0, size=500)
+        scalar = WindowedCounter(100.0)
+        for t in times:
+            scalar.record(float(t))
+        batched = WindowedCounter(100.0)
+        batched.record_batch(times)
+        horizon = 1100.0
+        assert np.array_equal(scalar.counts(horizon), batched.counts(horizon))
+
+    def test_empty_batch_is_noop(self):
+        counter = WindowedCounter(100.0)
+        counter.record_batch(np.empty(0))
+        assert counter.counts().size == 0
+
+    def test_negative_time_rejected(self):
+        counter = WindowedCounter(100.0)
+        with pytest.raises(ValueError):
+            counter.record_batch(np.array([5.0, -1.0]))

@@ -1,6 +1,9 @@
 """Unit tests for request records."""
 
+import itertools
+
 from repro.simulator.request import Request, RequestKind
+from repro.simulator.simulation import ReplicaSelectionSimulation, SimulationConfig
 
 
 class TestRequest:
@@ -47,3 +50,63 @@ class TestRequest:
 
     def test_request_kinds_enumerated(self):
         assert set(RequestKind.ALL) == {"read", "write", "read_repair", "speculative"}
+
+    def test_first_completion_wins(self):
+        # Under hedging, a straggling response for an already-completed
+        # request must not overwrite the winning timestamp.
+        request = Request.create(client_id=0, replica_group=(1,), created_at=0.0)
+        request.mark_completed(3.0)
+        request.mark_completed(10.0)
+        assert request.completed_at == 3.0
+        assert request.latency == 3.0
+
+    def test_create_honors_explicit_id_source(self):
+        ids = itertools.count(100)
+        a = Request.create(client_id=0, replica_group=(1,), created_at=0.0, id_source=ids)
+        b = Request.create(client_id=0, replica_group=(1,), created_at=0.0, id_source=ids)
+        assert (a.request_id, b.request_id) == (100, 101)
+
+
+class TestPerSimulationRequestIds:
+    """Request ids must be reproducible run-to-run within one process.
+
+    Pooled sweep workers reuse a process across trials; with the old
+    process-global counter the second trial's ids continued where the first
+    stopped, so exported traces differed between serial and pooled runs.
+    """
+
+    CONFIG = dict(
+        num_servers=6,
+        replication_factor=3,
+        num_clients=4,
+        num_requests=60,
+        fluctuation_enabled=False,
+        strategy="LOR",
+        seed=7,
+    )
+
+    @staticmethod
+    def _run_and_capture_ids(config: SimulationConfig) -> list[int]:
+        sim = ReplicaSelectionSimulation(config)
+        seen: list[int] = []
+        for client in sim.clients:
+            original = client.on_request
+
+            def wrapped(request, _original=original):
+                seen.append(request.request_id)
+                _original(request)
+
+            client.on_request = wrapped
+        sim.run()
+        return seen
+
+    def test_ids_identical_across_runs_in_one_process(self):
+        config = SimulationConfig(**self.CONFIG)
+        first = self._run_and_capture_ids(config)
+        # Pollute the process-global counter the way unrelated work in a
+        # pooled worker would; per-simulation ids must not care.
+        for _ in range(500):
+            Request.create(client_id="x", replica_group=(0,), created_at=0.0)
+        second = self._run_and_capture_ids(config)
+        assert first == second
+        assert first[0] == 0  # each run's ids start from zero
