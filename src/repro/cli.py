@@ -115,6 +115,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="event-loop kernel: the per-event object path or the batched "
              "typed-event path (identical exact-mode results, several times faster)",
     )
+    sim_parser.add_argument(
+        "--rng", default="v1", choices=["v1", "block"],
+        help="RNG regime: v1 (scalar draws, legacy digests) or block "
+             "(block-drawn variates — faster, kernel-identical, a new digest domain)",
+    )
 
     cluster_parser = sub.add_parser("cluster", help="run one cluster scenario")
     cluster_parser.add_argument("--strategy", default="C3", help=strategy_help)
@@ -171,6 +176,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--kernel", default="object", choices=["object", "batched"],
         help="event-loop kernel for every trial (see `simulate --kernel`)",
+    )
+    sweep_parser.add_argument(
+        "--rng", default="v1", choices=["v1", "block"],
+        help="RNG regime for every trial (see `simulate --rng`)",
     )
     sweep_parser.add_argument("--no-cache", action="store_true", help="disable the trial cache")
     sweep_parser.add_argument("--json", dest="json_path", metavar="PATH", help="also save the full sweep result as JSON")
@@ -354,6 +363,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             failure_detector=args.failure_detector,
             hedging=args.hedging,
             kernel=args.kernel,
+            rng=args.rng,
         )
     except ValueError as error:
         # Malformed KEY=VALUE pairs, unknown scenario knobs, and invalid
@@ -423,6 +433,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 num_requests=args.requests,
                 metrics_mode=args.metrics_mode,
                 kernel=args.kernel,
+                rng=args.rng,
             ),
             grid=grid,
             seeds=seed_range(args.num_seeds, args.base_seed),

@@ -20,6 +20,25 @@ Lower scores are better.  The ``R_s − 1/μ̄_s`` term makes the score collapse
 the plain observed response time when the queue estimate is 1 (no outstanding
 requests, zero queue feedback), while the convex queue penalty dominates as
 soon as queues build up.
+
+Storage layout
+--------------
+The scorer keeps its per-server state in dense parallel arrays (one slot per
+server, appended on first contact) instead of per-server objects.  Three
+consumers read the very same slots:
+
+* the scalar hot path (``score``/``rank`` over RF-sized groups, where plain
+  Python arithmetic beats numpy's per-call overhead by ~9x);
+* :meth:`ReplicaScorer.scores_array`, which folds a whole replica group into
+  one vectorized numpy expression (used by ``rank`` for wide groups);
+* the batched simulator kernel, which obtains the live arrays through
+  :meth:`ReplicaScorer.kernel_state` and inlines every read/write — because
+  the arrays are shared rather than copied, fallback paths that call scorer
+  methods mid-run stay consistent with the kernel's inlined fast path.
+
+:meth:`ReplicaScorer.stats_for` materializes a detached
+:class:`ServerStats` snapshot for observability and tests; mutating the
+snapshot does not write back into the scorer.
 """
 
 from __future__ import annotations
@@ -27,11 +46,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Mapping
 
+import numpy as np
+
 from .config import C3Config
 from .ewma import EWMA
 from .feedback import ServerFeedback
 
 __all__ = ["ServerStats", "ReplicaScorer", "cubic_score"]
+
+#: Group size at or above which :meth:`ReplicaScorer.rank` switches to the
+#: vectorized :meth:`ReplicaScorer.scores_array` path.  At the paper's RF=3
+#: the scalar loop is several times faster than numpy's fixed per-call
+#: overhead; wide groups (cluster-scale rankings) amortize it.  Both paths
+#: produce bitwise-identical scores (pinned by a property test), so the
+#: threshold is a pure performance knob.
+_VECTORIZE_MIN_GROUP = 16
 
 
 def cubic_score(
@@ -64,7 +93,12 @@ def cubic_score(
 
 @dataclass
 class ServerStats:
-    """Per-server state a client keeps for ranking purposes."""
+    """Per-server state a client keeps for ranking purposes.
+
+    Returned by :meth:`ReplicaScorer.stats_for` as a *detached snapshot* of
+    the scorer's dense state: reads reflect the scorer at call time, writes
+    do not propagate back.
+    """
 
     server_id: Hashable
     response_time: EWMA
@@ -107,6 +141,17 @@ class _ScorerCounters:
         }
 
 
+def _ewma_fold(values: list[float], counts: list[int], i: int, sample: float, alpha: float) -> None:
+    """Fold ``sample`` into the dense EWMA slot ``i`` (mirrors :meth:`EWMA.update`)."""
+    if sample != sample:  # NaN — same guard EWMA.update applies
+        raise ValueError("cannot update EWMA with NaN")
+    if counts[i]:
+        values[i] = alpha * sample + (1.0 - alpha) * values[i]
+    else:
+        values[i] = sample
+    counts[i] += 1
+
+
 class ReplicaScorer:
     """Maintains per-server statistics and ranks replicas by the C3 score.
 
@@ -124,50 +169,95 @@ class ReplicaScorer:
 
     def __init__(self, config: C3Config | None = None) -> None:
         self.config = config or C3Config()
-        self._stats: dict[Hashable, ServerStats] = {}
         self.counters = _ScorerCounters()
+        # Dense per-server parallel arrays; slot indices are handed out by
+        # ``_slot`` in first-contact order.  ``*_cnt == 0`` marks an
+        # uninitialized EWMA (value slot then holds 0.0, matching
+        # ``EWMA.value``'s zero default).
+        self._index: dict[Hashable, int] = {}
+        self._ids: list[Hashable] = []
+        self._tiekey: list[str] = []
+        self._rt_val: list[float] = []
+        self._rt_cnt: list[int] = []
+        self._qs_val: list[float] = []
+        self._qs_cnt: list[int] = []
+        self._st_val: list[float] = []
+        self._st_cnt: list[int] = []
+        self._out: list[int] = []
+        self._fb_cnt: list[int] = []
+        self._last_fb: list[float | None] = []
+        self._last_sent: list[float | None] = []
 
     # ------------------------------------------------------------------ state
+    def _slot(self, server_id: Hashable) -> int:
+        """Slot index for ``server_id``, allocating one on first contact."""
+        i = self._index.get(server_id)
+        if i is None:
+            i = len(self._ids)
+            self._index[server_id] = i
+            self._ids.append(server_id)
+            self._tiekey.append(_stable_key(server_id))
+            self._rt_val.append(0.0)
+            self._rt_cnt.append(0)
+            self._qs_val.append(0.0)
+            self._qs_cnt.append(0)
+            self._st_val.append(0.0)
+            self._st_cnt.append(0)
+            self._out.append(0)
+            self._fb_cnt.append(0)
+            self._last_fb.append(None)
+            self._last_sent.append(None)
+        return i
+
+    def _ewma_view(self, value: float, count: int) -> EWMA:
+        ewma = EWMA(self.config.ewma_alpha)
+        if count:
+            ewma._value = value
+            ewma._count = count
+        return ewma
+
     def stats_for(self, server_id: Hashable) -> ServerStats:
-        """Return (creating if needed) the stats record for ``server_id``."""
-        stats = self._stats.get(server_id)
-        if stats is None:
-            alpha = self.config.ewma_alpha
-            stats = ServerStats(
-                server_id=server_id,
-                response_time=EWMA(alpha),
-                queue_size=EWMA(alpha),
-                service_time=EWMA(alpha),
-            )
-            self._stats[server_id] = stats
-        return stats
+        """A detached :class:`ServerStats` snapshot (creating state if needed)."""
+        i = self._slot(server_id)
+        return ServerStats(
+            server_id=server_id,
+            response_time=self._ewma_view(self._rt_val[i], self._rt_cnt[i]),
+            queue_size=self._ewma_view(self._qs_val[i], self._qs_cnt[i]),
+            service_time=self._ewma_view(self._st_val[i], self._st_cnt[i]),
+            outstanding=self._out[i],
+            feedback_count=self._fb_cnt[i],
+            last_feedback_at=self._last_fb[i],
+            last_sent_at=self._last_sent[i],
+        )
 
     @property
     def known_servers(self) -> list[Hashable]:
         """Servers for which any state exists."""
-        return list(self._stats)
+        return list(self._index)
 
     def outstanding(self, server_id: Hashable) -> int:
         """Number of requests this client currently has in flight to a server."""
-        stats = self._stats.get(server_id)
-        return 0 if stats is None else stats.outstanding
+        i = self._index.get(server_id)
+        return 0 if i is None else self._out[i]
 
     def total_outstanding(self) -> int:
         """Total in-flight requests across all servers."""
-        return sum(s.outstanding for s in self._stats.values())
+        return sum(self._out[i] for i in self._index.values())
 
     def reset_server(self, server_id: Hashable) -> None:
         """Forget all state about one server (e.g. after it left the ring)."""
-        if server_id in self._stats:
-            del self._stats[server_id]
+        i = self._index.pop(server_id, None)
+        if i is not None:
+            # The slot is orphaned (a later contact allocates a fresh one);
+            # no array compaction, so live kernel views stay valid.
             self.counters.resets += 1
 
     # ---------------------------------------------------------------- updates
     def on_send(self, server_id: Hashable, now: float | None = None) -> None:
         """Record that a request was dispatched to ``server_id``."""
-        stats = self.stats_for(server_id)
-        stats.outstanding += 1
-        stats.last_sent_at = now
+        i = self._slot(server_id)
+        self._out[i] += 1
+        self._last_sent[i] = now
         self.counters.sends += 1
 
     def on_response(
@@ -193,17 +283,22 @@ class ReplicaScorer:
         """
         if response_time < 0:
             raise ValueError(f"response_time must be non-negative, got {response_time}")
-        stats = self.stats_for(server_id)
-        if stats.outstanding > 0:
-            stats.outstanding -= 1
-        stats.response_time.update(response_time)
+        i = self._slot(server_id)
+        if self._out[i] > 0:
+            self._out[i] -= 1
+        alpha = self.config.ewma_alpha
+        _ewma_fold(self._rt_val, self._rt_cnt, i, float(response_time), alpha)
         if feedback is not None:
-            stats.queue_size.update(feedback.queue_size)
-            stats.service_time.update(
-                max(feedback.service_time, self.config.service_time_floor_ms)
+            _ewma_fold(self._qs_val, self._qs_cnt, i, float(feedback.queue_size), alpha)
+            _ewma_fold(
+                self._st_val,
+                self._st_cnt,
+                i,
+                float(max(feedback.service_time, self.config.service_time_floor_ms)),
+                alpha,
             )
-            stats.feedback_count += 1
-            stats.last_feedback_at = now
+            self._fb_cnt[i] += 1
+            self._last_fb[i] = now
         self.counters.responses += 1
 
     def on_timeout(self, server_id: Hashable, penalty_ms: float | None = None) -> None:
@@ -213,40 +308,73 @@ class ReplicaScorer:
         response time is folded in so that a black-holing server gets ranked
         progressively worse instead of retaining its last (good) score.
         """
-        stats = self.stats_for(server_id)
-        if stats.outstanding > 0:
-            stats.outstanding -= 1
+        i = self._slot(server_id)
+        if self._out[i] > 0:
+            self._out[i] -= 1
         if penalty_ms is not None:
-            stats.response_time.update(penalty_ms)
+            _ewma_fold(self._rt_val, self._rt_cnt, i, float(penalty_ms), self.config.ewma_alpha)
         self.counters.timeouts += 1
 
     # ---------------------------------------------------------------- scoring
     def queue_estimate(self, server_id: Hashable) -> float:
         """The concurrency-compensated queue estimate ``q̂_s``."""
-        stats = self.stats_for(server_id)
-        return 1.0 + stats.outstanding * self.config.concurrency_weight + stats.queue_size.value
+        i = self._slot(server_id)
+        return 1.0 + self._out[i] * self.config.concurrency_weight + self._qs_val[i]
 
     def expected_service_time(self, server_id: Hashable) -> float:
         """Smoothed service time ``1/μ̄_s`` with the configured numeric floor."""
-        stats = self.stats_for(server_id)
-        if not stats.service_time.initialized:
+        i = self._slot(server_id)
+        if not self._st_cnt[i]:
             return self.config.service_time_floor_ms
-        return max(stats.service_time.value, self.config.service_time_floor_ms)
+        return max(self._st_val[i], self.config.service_time_floor_ms)
 
     def score(self, server_id: Hashable) -> float:
         """The C3 score Ψ_s for one server (lower is better)."""
-        stats = self.stats_for(server_id)
+        i = self._slot(server_id)
         self.counters.score_evaluations += 1
+        cfg = self.config
+        floor = cfg.service_time_floor_ms
+        if self._st_cnt[i]:
+            service_time = self._st_val[i]
+            if service_time < floor:
+                service_time = floor
+        else:
+            service_time = floor
         return cubic_score(
-            response_time=stats.response_time.value,
-            queue_estimate=self.queue_estimate(server_id),
-            service_time=self.expected_service_time(server_id),
-            exponent=self.config.score_exponent,
+            response_time=self._rt_val[i],
+            queue_estimate=1.0 + self._out[i] * cfg.concurrency_weight + self._qs_val[i],
+            service_time=service_time,
+            exponent=cfg.score_exponent,
         )
 
     def scores(self, replica_group: Iterable[Hashable]) -> Mapping[Hashable, float]:
         """Scores for every member of ``replica_group``."""
         return {server_id: self.score(server_id) for server_id in replica_group}
+
+    def scores_array(self, replica_group: Iterable[Hashable]) -> np.ndarray:
+        """Scores for a whole replica group as one vectorized numpy expression.
+
+        Bitwise-identical to looping :meth:`score` over the group (pinned by
+        a property test).  The additive/multiplicative/division terms are
+        IEEE-exact under vectorization, but the ``q̂^b`` power term is
+        computed with *scalar* Python ``**``: numpy's SIMD ``pow`` is not
+        bitwise-equal to libm's scalar ``pow`` on all platforms, and golden
+        digests ride on these scores.
+        """
+        idx = [self._slot(sid) for sid in replica_group]
+        self.counters.score_evaluations += len(idx)
+        cfg = self.config
+        floor = cfg.service_time_floor_ms
+        w = cfg.concurrency_weight
+        b = cfg.score_exponent
+        rt_val, qs_val, st_val = self._rt_val, self._qs_val, self._st_val
+        st_cnt, out = self._st_cnt, self._out
+        rt = np.array([rt_val[i] for i in idx], dtype=np.float64)
+        st = np.array([st_val[i] if st_cnt[i] else floor for i in idx], dtype=np.float64)
+        np.maximum(st, floor, out=st)
+        qpow = np.array([(1.0 + out[i] * w + qs_val[i]) ** b for i in idx], dtype=np.float64)
+        result: np.ndarray = rt - st + qpow / (1.0 / st)
+        return result
 
     def rank(self, replica_group: Iterable[Hashable]) -> list[Hashable]:
         """Replica group sorted by ascending score (best server first).
@@ -258,20 +386,88 @@ class ReplicaScorer:
         group = list(replica_group)
         if not group:
             raise ValueError("replica_group must not be empty")
-        scored = self.scores(group)
-        return sorted(
-            group,
-            key=lambda sid: (scored[sid], self.outstanding(sid), _stable_key(sid)),
+        scores: list[float]
+        if len(group) >= _VECTORIZE_MIN_GROUP:
+            scores = self.scores_array(group).tolist()
+        else:
+            scores = [self.score(sid) for sid in group]
+        index, out, tiekey = self._index, self._out, self._tiekey
+        slots = [index[sid] for sid in group]
+        decorated = sorted(
+            (scores[k], out[slots[k]], tiekey[slots[k]], k) for k in range(len(group))
         )
+        return [group[d[3]] for d in decorated]
 
     def best(self, replica_group: Iterable[Hashable]) -> Hashable:
         """The best-ranked replica of the group."""
         return self.rank(replica_group)[0]
 
+    # ------------------------------------------------------------------ kernel
+    def kernel_state(
+        self, num_servers: int
+    ) -> (
+        tuple[
+            list[float],
+            list[int],
+            list[float],
+            list[int],
+            list[float],
+            list[int],
+            list[int],
+            list[int],
+            list[float | None],
+            list[float | None],
+            list[str],
+        ]
+        | None
+    ):
+        """Live dense state views for the batched kernel.
+
+        Allocates slots for servers ``0..num_servers-1`` eagerly and returns
+        the scorer's *live* parallel arrays — ``(rt_val, rt_cnt, qs_val,
+        qs_cnt, st_val, st_cnt, outstanding, feedback_count, last_sent,
+        last_feedback, tiekey)`` — indexable directly by integer server id.
+        Because the arrays are shared rather than copied, kernel-inlined
+        updates and scorer-method updates (fallback paths mid-run) observe
+        each other immediately; there is nothing to sync back except the
+        counter deltas folded by :meth:`kernel_restore`.
+
+        Returns ``None`` when the slot table is not exactly the identity
+        mapping over ``0..num_servers-1`` (e.g. a reused scorer with string
+        ids), in which case the kernel must fall back to scorer methods.
+        """
+        for sid in range(num_servers):
+            self._slot(sid)
+        if self._ids != list(range(num_servers)):
+            return None
+        return (
+            self._rt_val,
+            self._rt_cnt,
+            self._qs_val,
+            self._qs_cnt,
+            self._st_val,
+            self._st_cnt,
+            self._out,
+            self._fb_cnt,
+            self._last_sent,
+            self._last_fb,
+            self._tiekey,
+        )
+
+    def kernel_restore(self, sends: int, responses: int, score_evaluations: int) -> None:
+        """Fold the kernel's locally-accumulated counter deltas back in.
+
+        The dense arrays themselves need no restore (they are shared live);
+        only the observability counters are batched by the kernel for speed.
+        """
+        self.counters.sends += sends
+        self.counters.responses += responses
+        self.counters.score_evaluations += score_evaluations
+
     # ------------------------------------------------------------ observation
     def snapshot(self) -> dict:
         """A plain-dict dump of all per-server state (for logging/tests)."""
-        return {sid: stats.snapshot() for sid, stats in self._stats.items()}
+        return {sid: self.stats_for(sid).snapshot() for sid in self._index}
 
 
 def _stable_key(server_id: Hashable) -> str:

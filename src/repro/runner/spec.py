@@ -87,8 +87,9 @@ def config_to_payload(config: SimulationConfig) -> dict:
     """A JSON-serializable dict capturing every field of ``config``.
 
     The *default* control specs — the ``"binary"`` failure detector,
-    ``hedging=None`` and the ``"object"`` kernel — are omitted from the
-    payload, so configs predating those axes keep byte-identical payloads
+    ``hedging=None``, the ``"object"`` kernel and the ``"v1"`` RNG
+    regime — are omitted from the payload, so configs predating those
+    axes keep byte-identical payloads
     (and therefore cache keys and pinned payload hashes);
     :func:`payload_to_config` restores the defaults on reconstruction.
     Non-default values are included and produce distinct cache keys.  Note
@@ -104,6 +105,10 @@ def config_to_payload(config: SimulationConfig) -> dict:
         del payload["hedging"]
     if payload.get("kernel") == "object":
         del payload["kernel"]
+    # rng="block" is a different digest domain, so it must cache separately;
+    # the "v1" default is omitted to keep pre-existing cache keys intact.
+    if payload.get("rng") == "v1":
+        del payload["rng"]
     return payload
 
 

@@ -45,14 +45,16 @@ rate changes) are read through the live server/network/process objects.
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import heappop, heappush
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..controls.detectors import BinaryFailureDetector
 from ..core.feedback import ServerFeedback
 from ..strategies.base import ReplicaSelector, StatefulSelector
+from ..strategies.c3 import C3Selector
 from ..strategies.least_outstanding import LeastOutstandingSelector
 from ..strategies.power_of_two import PowerOfTwoSelector
 from .client import _MIN_RETRY_MS, _PARKED_RETRY_MS
@@ -90,6 +92,7 @@ _LOR = 0
 _P2C = 1
 _STOCK = 2
 _CUSTOM = 3
+_C3 = 4
 
 #: Sentinel "no pending arrival" time (compares after every real event).
 _NEVER = float("inf")
@@ -126,7 +129,7 @@ class KernelServer(SimServer):
     """
 
     kernel: "BatchedKernel | None" = None
-    _svc_block: "np.ndarray | None" = None
+    _svc_block: Any = None  # np.ndarray block of standard-exponential draws
     _svc_i: int = 0
 
     def _try_start_service(self) -> None:
@@ -144,21 +147,26 @@ class BatchedKernel:
         cfg = sim.config
         self.sim = sim
         self.loop = sim.loop
-        self.heap = sim.loop._heap
+        # The kernel pushes 6-tuple entries onto the loop's Event heap and
+        # duck-types the detector/metrics objects; those seams are typed Any
+        # — the run-time invariants are pinned by the equivalence suites.
+        self.heap: list[Any] = sim.loop._heap
         self.seq = sim.loop._seq
-        self.metrics = sim.metrics
+        self.metrics: Any = sim.metrics
         self.tracker = sim.down_tracker
-        self.det = sim.failure_detector
+        self.det: Any = sim.failure_detector
         self._binary = type(self.det) is BinaryFailureDetector
 
-        self.servers: list[SimServer] = [sim.servers[sid] for sid in range(cfg.num_servers)]
-        for server in self.servers:
+        self.servers: list[KernelServer] = []
+        for sid in range(cfg.num_servers):
+            server = sim.servers[sid]
             if not isinstance(server, KernelServer):
                 raise TypeError(
                     "kernel='batched' requires KernelServer instances; build the "
                     "simulation with SimulationConfig(kernel='batched')"
                 )
             server.kernel = self
+            self.servers.append(server)
         # Dense caches of per-server state that is immutable after
         # construction (the deque entries cache the *objects*; their
         # contents stay live).  Dynamic state that anything outside the
@@ -167,7 +175,9 @@ class BatchedKernel:
         # object so scenario components and the snitch/oracle
         # ``server_state_fn`` see exactly what the object path would show.
         srv = self.servers
-        self._srv_queue = [s._queue for s in srv]
+        # The queues hold request-id ints in kernel mode (the object path
+        # stores Request instances in the same deques), hence Any.
+        self._srv_queue: list[Any] = [s._queue for s in srv]
         self._srv_conc = [s.concurrency for s in srv]
         self._srv_base = [s.base_service_time_ms for s in srv]
         self._srv_rng = [s.rng for s in srv]
@@ -183,29 +193,34 @@ class BatchedKernel:
         self._s_cqs = [s.cumulative_queue_samples for s in srv]
         self._s_qs = [s.queue_samples for s in srv]
         self._s_maxq = [s.max_queue_length for s in srv]
-        self._s_ewv = [s._service_time_ewma._value for s in srv]
+        self._s_ewv: list[Any] = [s._service_time_ewma._value for s in srv]
         self._s_ewc = [s._service_time_ewma._count for s in srv]
         self.size_factor = 1.0 if cfg.record_size <= 0 else max(0.25, cfg.record_size / 1024.0)
 
         clients = sim.clients
         self.n_clients = len(clients)
-        self._sels: list[ReplicaSelector] = [c.selector for c in clients]
+        # Selectors and hedging policies are dispatched on their *exact*
+        # run-time type (_detect_mode) and then accessed through per-mode
+        # attributes the base classes don't declare; Any is the honest type.
+        self._sels: list[Any] = [c.selector for c in clients]
         self._crngs = [c.rng for c in clients]
         self.rrp = float(cfg.read_repair_probability)
-        self._policies = [c.hedging for c in clients]
+        self._policies: list[Any] = [c.hedging for c in clients]
         self._hedged = any(p is not None for p in self._policies)
         self.mode = self._detect_mode(self._sels[0]) if self._sels else _CUSTOM
 
         num_servers = cfg.num_servers
         if self.mode == _LOR:
             self._sel_rngs = [sel.rng for sel in self._sels]
-            self._out = [sel.kernel_state(num_servers) for sel in self._sels]
+            self._out: list[Any] = [sel.kernel_state(num_servers) for sel in self._sels]
             self._subm = [sel.requests_submitted for sel in self._sels]
             self._resp = [sel.responses_received for sel in self._sels]
         elif self.mode == _P2C:
             self._sel_rngs = [sel.rng for sel in self._sels]
             self.p2c_alpha = float(self._sels[0].alpha)
-            self._out, self._ew_val, self._ew_init = [], [], []
+            self._out = []
+            self._ew_val: list[Any] = []
+            self._ew_init: list[Any] = []
             for sel in self._sels:
                 out, values, seeded = sel.kernel_state(num_servers)
                 self._out.append(out)
@@ -214,6 +229,45 @@ class BatchedKernel:
             self._ew_cnt = [[0] * num_servers for _ in self._sels]
             self._subm = [sel.requests_submitted for sel in self._sels]
             self._resp = [sel.responses_received for sel in self._sels]
+        elif self.mode == _C3:
+            states = [sel.kernel_state(num_servers) for sel in self._sels]
+            c3_cfg = self._sels[0].config
+            if any(s is None for s in states) or any(
+                sel.config != c3_cfg for sel in self._sels
+            ):
+                # Subclassed internals or heterogeneous configs: run C3
+                # through the fully polymorphic path instead.
+                self.mode = _CUSTOM
+            else:
+                self._c3_scheds = [sel.scheduler for sel in self._sels]
+                scorer_state = [s[0] for s in states]
+                self._c3_rt_val = [x[0] for x in scorer_state]
+                self._c3_rt_cnt = [x[1] for x in scorer_state]
+                self._c3_qs_val = [x[2] for x in scorer_state]
+                self._c3_qs_cnt = [x[3] for x in scorer_state]
+                self._c3_st_val = [x[4] for x in scorer_state]
+                self._c3_st_cnt = [x[5] for x in scorer_state]
+                self._c3_out = [x[6] for x in scorer_state]
+                self._c3_fb_cnt = [x[7] for x in scorer_state]
+                self._c3_last_sent = [x[8] for x in scorer_state]
+                self._c3_last_fb = [x[9] for x in scorer_state]
+                self._c3_tiekey = [x[10] for x in scorer_state]
+                self._c3_ctrl = [s[1] for s in states]
+                # Config scalars are read exactly as the scorer reads them
+                # (no float() coercion — arithmetic must match bitwise).
+                self.c3_alpha = c3_cfg.ewma_alpha
+                self.c3_w = c3_cfg.concurrency_weight
+                self.c3_b = c3_cfg.score_exponent
+                self.c3_floor = c3_cfg.service_time_floor_ms
+                self.c3_rc = c3_cfg.rate_control_enabled
+                n_c3 = self.n_clients
+                self._c3_subm = [0] * n_c3
+                self._c3_sent = [0] * n_c3
+                self._c3_bp = [0] * n_c3
+                self._c3_resp = [0] * n_c3
+                self._c3_s_sends = [0] * n_c3
+                self._c3_s_resps = [0] * n_c3
+                self._c3_s_evals = [0] * n_c3
 
         # Arena: one slot per request, rid == index == per-simulation id.
         self._created: list[float] = []
@@ -263,6 +317,19 @@ class BatchedKernel:
         self.n_groups = len(generator.groups)
         self._client_probs = generator._client_probs
         self.read_fraction = generator.read_fraction
+        #: rng="block" shares the generator's BlockDraws; None under "v1".
+        self.blocks = generator.block_draws
+
+        # Monotone FIFO lanes for ENQUEUE/RESPONSE entries.  Under a
+        # constant-latency network every such entry is pushed at
+        # now + const_delay with ``now`` nondecreasing, so per-lane push
+        # order equals (time, seq) order and a deque replaces the heap's
+        # O(log n) sifts with O(1) appends/poplefts.  Entries keep the heap
+        # tuple shape so the dispatch handlers are shared; a mid-run network
+        # change drains both lanes back into the heap (see _run_slice).
+        self._fifo_enq: "deque[tuple]" = deque()
+        self._fifo_resp: "deque[tuple]" = deque()
+        self._fifo_on = type(sim.network) is ConstantLatency
 
     @staticmethod
     def _detect_mode(selector: ReplicaSelector) -> int:
@@ -279,6 +346,8 @@ class BatchedKernel:
             return _LOR
         if cls is PowerOfTwoSelector:
             return _P2C
+        if cls is C3Selector:
+            return _C3
         if (
             isinstance(selector, StatefulSelector)
             and cls.submit is StatefulSelector.submit
@@ -306,7 +375,10 @@ class BatchedKernel:
         # comparisons against real heap entries break ties exactly as the
         # object path's scheduled arrival events do.
         if self.proc.total_arrivals > 0:
-            gap = float(self.wrng.exponential(1.0 / self.proc.rate_per_ms))
+            if self.blocks is None:
+                gap = float(self.wrng.exponential(1.0 / self.proc.rate_per_ms))
+            else:
+                gap = self.blocks.next_gap() * (1.0 / self.proc.rate_per_ms)
             self._arr_t = loop._now + gap
             self._arr_seq = next(self.seq)
         else:
@@ -411,11 +483,43 @@ class BatchedKernel:
             ew_init_all = self._ew_init
             ew_cnt_all = self._ew_cnt
             p2c_alpha = self.p2c_alpha
+        if mode == _C3:
+            c3_rt_val = self._c3_rt_val
+            c3_rt_cnt = self._c3_rt_cnt
+            c3_qs_val = self._c3_qs_val
+            c3_qs_cnt = self._c3_qs_cnt
+            c3_st_val = self._c3_st_val
+            c3_st_cnt = self._c3_st_cnt
+            c3_out = self._c3_out
+            c3_fb_cnt = self._c3_fb_cnt
+            c3_last_sent = self._c3_last_sent
+            c3_last_fb = self._c3_last_fb
+            c3_tiekey = self._c3_tiekey
+            c3_ctrl = self._c3_ctrl
+            c3_scheds = self._c3_scheds
+            c3_subm = self._c3_subm
+            c3_sent = self._c3_sent
+            c3_bp = self._c3_bp
+            c3_resp = self._c3_resp
+            c3_s_sends = self._c3_s_sends
+            c3_s_resps = self._c3_s_resps
+            c3_s_evals = self._c3_s_evals
+            c3_alpha = self.c3_alpha
+            c3_w = self.c3_w
+            c3_b = self.c3_b
+            c3_floor = self.c3_floor
+            c3_rc = self.c3_rc
         proc = self.proc
         wrng = self.wrng
         w_integers = wrng.integers
         w_random = wrng.random
         w_exponential = wrng.exponential
+        blocks = self.blocks
+        if blocks is not None:
+            blk_client = blocks.next_client
+            blk_group = blocks.next_group
+            blk_coin = blocks.next_coin
+            blk_gap = blocks.next_gap
         groups = self.groups
         n_clients = self.n_clients
         n_groups = self.n_groups
@@ -432,25 +536,54 @@ class BatchedKernel:
         inv_rate = 1.0 / proc.rate_per_ms
         network = sim.network
         const_delay = network.delay_ms if type(network) is ConstantLatency else None
+        fifo_e = self._fifo_enq
+        fifo_r = self._fifo_resp
+        fifo_on = self._fifo_on
+        fe_app = fifo_e.append
+        fr_app = fifo_r.append
+        fe_pop = fifo_e.popleft
+        fr_pop = fifo_r.popleft
         issued_delta = 0
         completed_delta = 0
         arr_t = self._arr_t
         arr_seq = self._arr_seq
         fired = 0
         while True:
+            # Four event sources merge by (time, seq): the heap, the two
+            # monotone FIFO lanes, and the scalar next-arrival.  seqs are
+            # globally unique, so the comparisons below impose exactly the
+            # order one shared heap would.
             if heap:
                 entry = heap[0]
                 t = entry[0]
-                if arr_t < t or (arr_t == t and arr_seq < entry[1]):
-                    arrival = True
-                    t = arr_t
-                else:
-                    arrival = False
-            elif arr_t < _NEVER:
+                s = entry[1]
+                src = 0
+            else:
+                entry = None
+                t = _NEVER
+                s = 0
+                src = 0
+            if fifo_e:
+                cand = fifo_e[0]
+                ct = cand[0]
+                if ct < t or (ct == t and cand[1] < s):
+                    entry = cand
+                    t = ct
+                    s = cand[1]
+                    src = 2
+            if fifo_r:
+                cand = fifo_r[0]
+                ct = cand[0]
+                if ct < t or (ct == t and cand[1] < s):
+                    entry = cand
+                    t = ct
+                    s = cand[1]
+                    src = 3
+            if arr_t < t or (arr_t == t and arr_seq < s):
                 arrival = True
                 t = arr_t
             else:
-                break
+                arrival = False
             if t > until:
                 break
             if arrival:
@@ -462,12 +595,17 @@ class BatchedKernel:
                 # identically.
                 fired += 1
                 generated += 1
-                if client_probs is None:
-                    cid = int(w_integers(n_clients))
+                if blocks is None:
+                    if client_probs is None:
+                        cid = int(w_integers(n_clients))
+                    else:
+                        cid = int(wrng.choice(n_clients, p=client_probs))
+                    group = groups[int(w_integers(n_groups))]
+                    kind = _READ if always_read or w_random() < read_fraction else _WRITE
                 else:
-                    cid = int(wrng.choice(n_clients, p=client_probs))
-                group = groups[int(w_integers(n_groups))]
-                kind = _READ if always_read or w_random() < read_fraction else _WRITE
+                    cid = blk_client()
+                    group = groups[blk_group()]
+                    kind = _READ if always_read or blk_coin() < read_fraction else _WRITE
                 rid = len(created)
                 created_app(t)
                 client_app(cid)
@@ -492,6 +630,76 @@ class BatchedKernel:
                         sel.requests_submitted += 1
                         sid = sel.choose(group, t)
                         sel.record_send(sid, t)
+                    elif mode == _C3:
+                        # Inline Algorithm 1: scalar cubic scores over the
+                        # scorer's live dense arrays (expression transcribed
+                        # from cubic_score, bitwise-equal), rank by
+                        # (score, outstanding, tiekey), then the rate-control
+                        # acquire loop.  Read-repair duplicates below go
+                        # through on_duplicate_send (out is None) — the
+                        # arrays are shared, so method fallbacks stay
+                        # coherent with this inline path.
+                        out = None
+                        sel = sels[cid]
+                        c3_subm[cid] += 1
+                        rt_val = c3_rt_val[cid]
+                        qs_val = c3_qs_val[cid]
+                        st_val = c3_st_val[cid]
+                        st_cnt = c3_st_cnt[cid]
+                        souts = c3_out[cid]
+                        tiekey = c3_tiekey[cid]
+                        c3_s_evals[cid] += len(group)
+                        decorated = []
+                        k = 0
+                        for s in group:
+                            stv = st_val[s]
+                            if not st_cnt[s] or stv < c3_floor:
+                                stv = c3_floor
+                            q = 1.0 + souts[s] * c3_w + qs_val[s]
+                            decorated.append(
+                                (
+                                    rt_val[s] - stv + (q**c3_b) / (1.0 / stv),
+                                    souts[s],
+                                    tiekey[s],
+                                    k,
+                                )
+                            )
+                            k += 1
+                        if not c3_rc:
+                            sid = group[min(decorated)[3]]
+                        else:
+                            decorated.sort()
+                            sid = -1
+                            ctrls = c3_ctrl[cid]
+                            for d in decorated:
+                                cand_sid = group[d[3]]
+                                if ctrls[cand_sid].try_acquire(t):
+                                    sid = cand_sid
+                                    break
+                            if sid < 0:
+                                # Backpressure: every replica is over rate.
+                                sched = c3_scheds[cid]
+                                sched.backlog.enqueue(rid, group, t)
+                                c3_bp[cid] += 1
+                                self.backpressure += 1
+                                retry_after = sched.rate_control.earliest_availability(
+                                    group, t
+                                )
+                                self._schedule_retry(cid, retry_after, t)
+                                if generated < total_arrivals:
+                                    if blocks is None:
+                                        gap = float(w_exponential(inv_rate))
+                                    else:
+                                        gap = blk_gap() * inv_rate
+                                    arr_t = t + gap
+                                    arr_seq = nxt()
+                                else:
+                                    arr_t = _NEVER
+                                continue
+                        souts[sid] += 1
+                        c3_last_sent[cid][sid] = t
+                        c3_s_sends[cid] += 1
+                        c3_sent[cid] += 1
                     else:
                         subm[cid] += 1
                         out = out_all[cid]
@@ -530,7 +738,10 @@ class BatchedKernel:
                     delay = const_delay
                     if delay is None:
                         delay = network.one_way_delay(cid, sid)
-                    push(heap, (t + delay, nxt(), _ENQUEUE, rid, sid, 0.0))
+                    if fifo_on:
+                        fe_app((t + delay, nxt(), _ENQUEUE, rid, sid, 0.0))
+                    else:
+                        push(heap, (t + delay, nxt(), _ENQUEUE, rid, sid, 0.0))
                     if kind == _READ and rrp > 0.0:
                         if hedged:
                             coin = crngs[cid].random()
@@ -569,18 +780,29 @@ class BatchedKernel:
                                 delay = const_delay
                                 if delay is None:
                                     delay = network.one_way_delay(cid, s)
-                                push(heap, (t + delay, nxt(), _ENQUEUE, dup, s, 0.0))
+                                if fifo_on:
+                                    fe_app((t + delay, nxt(), _ENQUEUE, dup, s, 0.0))
+                                else:
+                                    push(heap, (t + delay, nxt(), _ENQUEUE, dup, s, 0.0))
                                 rr_cnt[cid] += 1
                     if hedged:
                         self._maybe_hedge(rid, cid, t)
                 if generated < total_arrivals:
-                    gap = float(w_exponential(inv_rate))
+                    if blocks is None:
+                        gap = float(w_exponential(inv_rate))
+                    else:
+                        gap = blk_gap() * inv_rate
                     arr_t = t + gap
                     arr_seq = nxt()
                 else:
                     arr_t = _NEVER
                 continue
-            pop(heap)
+            if src == 0:
+                pop(heap)
+            elif src == 2:
+                fe_pop()
+            else:
+                fr_pop()
             code = entry[2]
             if type(code) is not int:
                 # A generic Event (scenario component, fluctuation process).
@@ -596,7 +818,21 @@ class BatchedKernel:
                 generated = proc.generated
                 inv_rate = 1.0 / proc.rate_per_ms
                 network = sim.network
-                const_delay = network.delay_ms if type(network) is ConstantLatency else None
+                new_delay = network.delay_ms if type(network) is ConstantLatency else None
+                if new_delay != const_delay:
+                    # The one-way delay changed (network swap): future
+                    # pushes would break the FIFO lanes' monotonicity, so
+                    # drain both lanes into the heap (entries already have
+                    # the heap tuple shape) and run heap-only from here on.
+                    const_delay = new_delay
+                    if fifo_on:
+                        fifo_on = self._fifo_on = False
+                        for cand in fifo_e:
+                            push(heap, cand)
+                        fifo_e.clear()
+                        for cand in fifo_r:
+                            push(heap, cand)
+                        fifo_r.clear()
                 continue
             # loop._now is deliberately NOT updated per typed event: nothing
             # on the typed path reads the loop clock (handlers take ``t``
@@ -638,6 +874,49 @@ class BatchedKernel:
                     sel.record_response(
                         sid, ServerFeedback(entry[4], entry[5], sid), response_time, t
                     )
+                elif mode == _C3:
+                    # Inline Algorithm 2: three EWMA folds into the scorer's
+                    # live arrays (transcribed from _ewma_fold), then the
+                    # CUBIC controller update and a guarded backlog drain.
+                    c3_resp[cid] += 1
+                    c3_s_resps[cid] += 1
+                    souts = c3_out[cid]
+                    if souts[sid] > 0:
+                        souts[sid] -= 1
+                    vals = c3_rt_val[cid]
+                    cnts = c3_rt_cnt[cid]
+                    if cnts[sid]:
+                        vals[sid] = c3_alpha * response_time + (1.0 - c3_alpha) * vals[sid]
+                    else:
+                        vals[sid] = response_time
+                    cnts[sid] += 1
+                    vals = c3_qs_val[cid]
+                    cnts = c3_qs_cnt[cid]
+                    sample = float(entry[4])
+                    if cnts[sid]:
+                        vals[sid] = c3_alpha * sample + (1.0 - c3_alpha) * vals[sid]
+                    else:
+                        vals[sid] = sample
+                    cnts[sid] += 1
+                    vals = c3_st_val[cid]
+                    cnts = c3_st_cnt[cid]
+                    sample = entry[5]
+                    if sample < c3_floor:
+                        sample = c3_floor
+                    if cnts[sid]:
+                        vals[sid] = c3_alpha * sample + (1.0 - c3_alpha) * vals[sid]
+                    else:
+                        vals[sid] = sample
+                    cnts[sid] += 1
+                    c3_fb_cnt[cid][sid] += 1
+                    c3_last_fb[cid][sid] = t
+                    if c3_rc:
+                        c3_ctrl[cid][sid].on_response(t)
+                        sched = c3_scheds[cid]
+                        if sched.backlog._queues:
+                            rel = sched.drain_backlog(t)
+                            if rel:
+                                released = [(e.request, chosen) for e, chosen in rel]
                 else:
                     released = sels[cid].on_response(
                         sid, ServerFeedback(entry[4], entry[5], sid), response_time, t
@@ -664,6 +943,12 @@ class BatchedKernel:
                     sel = sels[cid]
                     if sel.pending_backlog() > 0:
                         self._schedule_retry(cid, sel.next_retry_ms(t) or _MIN_RETRY_MS, t)
+                elif mode == _C3 and c3_rc:
+                    sched = c3_scheds[cid]
+                    if sched.backlog._queues and sched.backlog.pending() > 0:
+                        self._schedule_retry(
+                            cid, sched.next_backlog_retry_ms(t) or _MIN_RETRY_MS, t
+                        )
             elif code == _FINISH:
                 rid = entry[3]
                 sid = entry[4]
@@ -707,7 +992,10 @@ class BatchedKernel:
                 delay = const_delay
                 if delay is None:
                     delay = network.one_way_delay(sid, cid)
-                push(heap, (t + delay, nxt(), _RESPONSE, rid, qsize, stime))
+                if fifo_on:
+                    fr_app((t + delay, nxt(), _RESPONSE, rid, qsize, stime))
+                else:
+                    push(heap, (t + delay, nxt(), _RESPONSE, rid, qsize, stime))
             elif code == _ENQUEUE:
                 rid = entry[3]
                 sid = entry[4]
@@ -751,7 +1039,12 @@ class BatchedKernel:
                 self._on_retry(entry[3], t)
             else:
                 self._on_parked(entry[3], t)
-        if arr_t > until and (not heap or heap[0][0] > until):
+        if (
+            arr_t > until
+            and (not heap or heap[0][0] > until)
+            and (not fifo_e or fifo_e[0][0] > until)
+            and (not fifo_r or fifo_r[0][0] > until)
+        ):
             loop._now = max(loop._now, until)
         loop._processed += fired
         self._arr_t = arr_t
@@ -854,7 +1147,11 @@ class BatchedKernel:
             if type(network) is ConstantLatency
             else network.one_way_delay(cid, sid)
         )
-        heappush(self.heap, (t + delay, next(self.seq), _ENQUEUE, rid, sid, 0.0))
+        entry = (t + delay, next(self.seq), _ENQUEUE, rid, sid, 0.0)
+        if self._fifo_on:
+            self._fifo_enq.append(entry)
+        else:
+            heappush(self.heap, entry)
 
     def _sel_timeout(self, cid: int, sid: int, t: float) -> None:
         if self.mode <= _P2C:
@@ -993,7 +1290,7 @@ class BatchedKernel:
             self._record_latency(rid, comp[rid] - self._created[rid])
 
     # -------------------------------------------------------------- servers
-    def start_service(self, server: SimServer) -> None:
+    def start_service(self, server: KernelServer) -> None:
         """Start queued requests while slots are free (block-drawn times).
 
         Also the target of :meth:`KernelServer._try_start_service`, so
@@ -1130,4 +1427,15 @@ class BatchedKernel:
                     self._ew_cnt[cid],
                     self._subm[cid],
                     self._resp[cid],
+                )
+        elif self.mode == _C3:
+            for cid, sel in enumerate(self._sels):
+                sel.kernel_restore(
+                    self._c3_subm[cid],
+                    self._c3_sent[cid],
+                    self._c3_bp[cid],
+                    self._c3_resp[cid],
+                    self._c3_s_sends[cid],
+                    self._c3_s_resps[cid],
+                    self._c3_s_evals[cid],
                 )

@@ -27,10 +27,16 @@ from .request import Request
 from .server import DownServerTracker, SimServer
 from .workload import DemandSkew, WorkloadGenerator, replica_groups
 
-__all__ = ["KERNELS", "SimulationConfig", "ReplicaSelectionSimulation", "run_simulation"]
+__all__ = ["KERNELS", "RNGS", "SimulationConfig", "ReplicaSelectionSimulation", "run_simulation"]
 
 #: Valid values of ``SimulationConfig.kernel``.
 KERNELS = ("object", "batched")
+
+#: Valid values of ``SimulationConfig.rng`` (random-draw regimes).  Each
+#: regime is a separate digest domain: within a regime, object and batched
+#: kernels are digest-identical; across regimes the RNG streams occupy
+#: different positions, so results legitimately differ.
+RNGS = ("v1", "block")
 
 
 @dataclass(slots=True)
@@ -62,6 +68,13 @@ class SimulationConfig:
     default — Event objects calling client/server methods) or ``"batched"``
     (the typed-tuple hot-path kernel in :mod:`repro.simulator.kernel`,
     several times faster and digest-identical by construction).
+
+    ``rng`` selects the random-draw regime: ``"v1"`` (the default — scalar
+    per-arrival/per-decision Generator calls, byte-identical to every
+    pre-existing digest and cache key) or ``"block"`` (workload trio and
+    selector draws served from block-drawn variates — several µs cheaper
+    per request, digest-identical across kernels but a *different digest
+    domain* than ``"v1"`` because the stream positions move).
 
     ``failure_detector`` and ``hedging`` address registered controls (see
     :mod:`repro.controls`) through the same spec grammar.  The defaults —
@@ -101,6 +114,7 @@ class SimulationConfig:
     failure_detector: "str | Mapping[str, Any] | ControlSpec" = "binary"
     hedging: "str | Mapping[str, Any] | ControlSpec | None" = None
     kernel: str = "object"
+    rng: str = "v1"
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -132,6 +146,8 @@ class SimulationConfig:
             raise ValueError("histogram_relative_error must be in (0, 1)")
         if self.kernel not in KERNELS:
             raise ValueError(f"unknown kernel {self.kernel!r}; choose one of {KERNELS}")
+        if self.rng not in RNGS:
+            raise ValueError(f"unknown rng {self.rng!r}; choose one of {RNGS}")
         if self.scenario is not None:
             from ..scenarios.registry import validate_scenario
 
@@ -251,8 +267,16 @@ class ReplicaSelectionSimulation:
             down_tracker=self.down_tracker, servers=self.servers
         )
         hedging_spec = cfg.hedging_spec
+        block_rngs = cfg.rng == "block"
+        if block_rngs:
+            from .workload import BlockRNG
         for cid in range(cfg.num_clients):
             selector_rng = np.random.default_rng(self.rng.integers(2**63))
+            if block_rngs:
+                # Selector draws come from the same child stream, but served
+                # through the block adapter — identical on both kernels, a
+                # different digest domain than the scalar regime.
+                selector_rng = BlockRNG(selector_rng)
             selector = strategy_spec.build(
                 rng=selector_rng,
                 server_state_fn=self._server_state,
@@ -307,6 +331,7 @@ class ReplicaSelectionSimulation:
             record_size=cfg.record_size,
             rng=workload_rng,
             id_source=self._request_ids,
+            rng_regime=cfg.rng,
         )
 
         if self.scenario is not None:

@@ -7,7 +7,9 @@ from typing import Any, Hashable, Mapping, Sequence
 
 from ..core.config import C3Config
 from ..core.feedback import ServerFeedback
+from ..core.rate_control import CubicRateController, PerServerRateControl, RateControlEvent
 from ..core.scheduler import C3Scheduler
+from ..core.scoring import ReplicaScorer
 from .base import ReplicaSelector, SelectorDecision
 from .registry import BuildContext, register_strategy
 
@@ -122,6 +124,56 @@ class C3Selector(ReplicaSelector):
         # SelectorDecision re-wrap above is pure overhead on its hot path.
         return self.scheduler.submit(request, replica_group, now)
 
+    def kernel_state(
+        self, num_servers: int
+    ) -> "tuple[tuple, list[CubicRateController]] | None":
+        """Live state views for the batched kernel's inlined C3 path.
+
+        Returns ``(scorer_state, controllers)`` where ``scorer_state`` is
+        :meth:`ReplicaScorer.kernel_state`'s tuple of live dense arrays and
+        ``controllers`` is the eagerly-created per-server
+        :class:`CubicRateController` list (creation draws no randomness and
+        every controller's clock anchors at 0, so eager creation is
+        digest-neutral).  Returns ``None`` — sending the kernel to the
+        polymorphic fallback — when any component was subclassed or the
+        scorer's slot table is not the identity over ``0..num_servers-1``.
+        """
+        scheduler = self.scheduler
+        if type(scheduler) is not C3Scheduler:
+            return None
+        scorer = scheduler.scorer
+        rate_control = scheduler.rate_control
+        if type(scorer) is not ReplicaScorer or type(rate_control) is not PerServerRateControl:
+            return None
+        state = scorer.kernel_state(num_servers)
+        if state is None:
+            return None
+        controllers = [rate_control.controller(sid) for sid in range(num_servers)]
+        return state, controllers
+
+    def kernel_restore(
+        self,
+        submitted: int,
+        sent: int,
+        backpressured: int,
+        responses: int,
+        scorer_sends: int,
+        scorer_responses: int,
+        scorer_evaluations: int,
+    ) -> None:
+        """Fold the kernel's locally-accumulated counter deltas back in.
+
+        The dense scorer arrays, rate controllers and backlog queues are
+        shared live with the kernel (fallback paths mutate them directly),
+        so only the batched observability counters need restoring.
+        """
+        scheduler = self.scheduler
+        scheduler.requests_submitted += submitted
+        scheduler.requests_sent += sent
+        scheduler.requests_backpressured += backpressured
+        scheduler.responses_received += responses
+        scheduler.scorer.kernel_restore(scorer_sends, scorer_responses, scorer_evaluations)
+
     def on_duplicate_send(self, server_id: Hashable, now: float) -> None:
         # Read-repair duplicates occupy the server and will generate
         # feedback, so they must be reflected in the outstanding count even
@@ -158,7 +210,7 @@ class C3Selector(ReplicaSelector):
         """Current per-server sending rates (requests per δ window)."""
         return self.scheduler.sending_rates()
 
-    def rate_history(self, server_id: Hashable):
+    def rate_history(self, server_id: Hashable) -> list[RateControlEvent]:
         """The recorded rate adjustments for one server (Figure 13 traces)."""
         return self.scheduler.rate_control.controller(server_id).history
 

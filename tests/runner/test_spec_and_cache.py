@@ -99,6 +99,23 @@ class TestHashing:
         assert rebuilt == config
         assert content_hash(config_to_payload(rebuilt)) == content_hash(config_to_payload(config))
 
+    def test_rng_default_is_omitted_from_payload(self):
+        # rng="v1" is the default digest domain: omitting it keeps every
+        # pre-existing cache key (and pinned payload hash) byte-identical.
+        explicit = config_to_payload(SimulationConfig(rng="v1"))
+        implicit = config_to_payload(SimulationConfig())
+        assert "rng" not in explicit
+        assert canonical_json(explicit) == canonical_json(implicit)
+        assert payload_to_config(explicit).rng == "v1"
+
+    def test_rng_block_participates_in_cache_keys(self):
+        # rng="block" is a distinct digest domain, so it must key separately.
+        v1 = SimulationConfig()
+        block = SimulationConfig(rng="block")
+        assert config_to_payload(block)["rng"] == "block"
+        assert content_hash(config_to_payload(v1)) != content_hash(config_to_payload(block))
+        assert payload_to_config(config_to_payload(block)) == block
+
     def test_canonical_json_rejects_unserializable(self):
         with pytest.raises(TypeError):
             canonical_json({"fn": lambda: None})
