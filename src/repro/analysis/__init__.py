@@ -11,6 +11,7 @@ from .histogram import LatencyHistogram, merge_histograms, quantile_within_bound
 from .oscillation import LoadConditioningReport, burstiness, load_conditioning, oscillation_score
 from .percentiles import EMPTY_SUMMARY, LatencySummary, percentile, summarize, tail_to_median_ratio
 from .report import format_comparison, format_summary_rows, format_table, indent
+from .report_sweep import bench_means, markdown_to_html, render_report
 from .timeseries import downsample, moving_average, moving_median, window_counts
 
 __all__ = [
@@ -21,9 +22,12 @@ __all__ = [
     "LatencySummary",
     "LoadConditioningReport",
     "aggregate_metric_samples",
+    "bench_means",
     "burstiness",
+    "markdown_to_html",
     "mean_ci",
     "merge_histograms",
+    "render_report",
     "downsample",
     "ecdf",
     "quantile_within_bound",

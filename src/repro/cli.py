@@ -34,6 +34,17 @@ Sub-commands
     report its summary, histogram footprint, and — with
     ``--compare-exact`` — the deviation from an exact-mode run of the
     same configuration, checked against the histogram error bound.
+``search``
+    Successive-halving search for the metric-optimal value of one numeric
+    strategy parameter (e.g. the p99.9-optimal ``cubic_c``): every rung is
+    an ordinary cached sweep over a growing seed prefix, the final rung
+    ranks the survivors at full replication, and ``--compare-dense``
+    verifies the winner against the dense grid's argmin on the same seeds.
+``report``
+    Render saved sweep results (``sweep --json``), search results
+    (``search --json``) and ``benchmarks/BENCH_*.json`` perf snapshots
+    into one markdown (and optionally HTML) artifact — the reviewable
+    results page CI uploads for every PR.
 """
 
 from __future__ import annotations
@@ -43,13 +54,27 @@ import json
 import sys
 from typing import Sequence
 
+from pathlib import Path
+
 from . import __version__
 from .analysis.histogram import quantile_within_bound
 from .analysis.report import format_table
+from .analysis.report_sweep import markdown_to_html, render_report
 from .cluster import ClusterConfig, run_cluster
 from .controls import control_names, get_control, kind_label
 from .experiments import list_experiments, registry, run_experiment
-from .runner import SweepRunner, SweepSpec, seed_range
+from .runner import (
+    SearchResult,
+    SweepCheckpoint,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    checkpoint_path_for,
+    dense_argmin,
+    seed_range,
+    successive_halving,
+)
+from .runner.results import AGGREGATE_METRICS
 from .scenarios import get_scenario, scenario_names
 from .simulator import SimulationConfig, run_simulation
 from .strategies import get_strategy, strategy_names
@@ -187,6 +212,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-mode", default="exact", choices=["exact", "streaming"],
         help="latency collection mode for every trial (streaming = fixed-memory histograms)",
     )
+    sweep_parser.add_argument(
+        "--checkpoint", action="store_true",
+        help="write a resumable completion manifest under the cache dir "
+             "(<cache-dir>/checkpoints/<spec-key>.json), updated as each trial finishes",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="continue a checkpointed sweep from its manifest (implies --checkpoint; "
+             "errors if no manifest exists for this spec)",
+    )
+    sweep_parser.add_argument(
+        "--max-trials", type=int, default=None, metavar="N",
+        help="execute at most N cache-miss trials this invocation, deferring the rest "
+             "to a later --resume (budget slicing; requires --checkpoint)",
+    )
 
     sub.add_parser("scenarios", help="list builtin fault/perturbation scenarios")
 
@@ -216,6 +256,106 @@ def build_parser() -> argparse.ArgumentParser:
     scale_parser.add_argument(
         "--compare-exact", action="store_true",
         help="also run exact mode on the same config and check the deviation against the bound",
+    )
+
+    search_parser = sub.add_parser(
+        "search",
+        help="successive-halving search for the metric-optimal value of one strategy parameter",
+    )
+    search_parser.add_argument(
+        "--strategy", default="C3",
+        help="strategy whose parameter is searched (default: C3; see `c3-repro strategies`)",
+    )
+    search_parser.add_argument(
+        "--param", required=True, metavar="NAME",
+        help="the strategy parameter to search, e.g. cubic_c (aliases accepted)",
+    )
+    search_parser.add_argument(
+        "--values", required=True, metavar="V1,V2,...",
+        help="comma-separated candidate values (JSON scalars, e.g. 1e-5,2e-4,8e-4)",
+    )
+    search_parser.add_argument(
+        "--metric", default="p999", choices=list(AGGREGATE_METRICS),
+        help="objective metric (default: p999 = p99.9 latency; throughput_rps maximizes, "
+             "latency metrics minimize)",
+    )
+    search_parser.add_argument(
+        "--eta", type=int, default=2,
+        help="halving rate: keep the best 1/eta of each rung's candidates (default: 2)",
+    )
+    search_parser.add_argument(
+        "--min-seeds", type=int, default=1,
+        help="seed-prefix floor for the first rung (default: 1)",
+    )
+    search_parser.add_argument("--servers", type=int, default=10)
+    search_parser.add_argument("--clients", type=int, default=40)
+    search_parser.add_argument("--requests", type=int, default=2_000, help="requests per trial")
+    search_parser.add_argument("--utilization", type=float, default=0.7)
+    search_parser.add_argument(
+        "--interval", type=float, default=100.0, help="fluctuation interval (ms)"
+    )
+    search_parser.add_argument(
+        "--num-seeds", type=int, default=4,
+        help="full replicate count — the final rung ranks survivors on all of them",
+    )
+    search_parser.add_argument("--base-seed", type=int, default=0, help="first seed of the replicate range")
+    search_parser.add_argument("--workers", type=int, default=None, help="pool size (default: CPU count)")
+    search_parser.add_argument("--serial", action="store_true", help="run in-process instead of a pool")
+    search_parser.add_argument(
+        "--cache-dir", default=".sweep-cache",
+        help="trial result cache directory — rung seed prefixes nest, so the cache is "
+             "what makes successive halving cheap (default: .sweep-cache)",
+    )
+    search_parser.add_argument("--no-cache", action="store_true", help="disable the trial cache")
+    search_parser.add_argument(
+        "--kernel", default="object", choices=["object", "batched"],
+        help="event-loop kernel for every trial (see `simulate --kernel`)",
+    )
+    search_parser.add_argument(
+        "--rng", default="v1", choices=["v1", "block"],
+        help="RNG regime for every trial (see `simulate --rng`)",
+    )
+    search_parser.add_argument(
+        "--compare-dense", action="store_true",
+        help="also run the dense grid (every candidate × every seed, cache-shared with "
+             "the search) and verify the winner matches its argmin; exits 1 on mismatch",
+    )
+    search_parser.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="also save the full search result as JSON (the `report` input shape)",
+    )
+
+    report_parser = sub.add_parser(
+        "report",
+        help="render sweep/search JSON results and BENCH_*.json snapshots into one artifact",
+    )
+    report_parser.add_argument(
+        "--sweep", action="append", dest="sweep_paths", metavar="PATH",
+        help="sweep result JSON (`sweep --json` output); repeatable",
+    )
+    report_parser.add_argument(
+        "--search", action="append", dest="search_paths", metavar="PATH",
+        help="search result JSON (`search --json` output); repeatable",
+    )
+    report_parser.add_argument(
+        "--bench", action="append", dest="bench_paths", metavar="PATH",
+        help="pytest-benchmark JSON snapshot; repeatable "
+             "(default: benchmarks/BENCH_*.json when present)",
+    )
+    report_parser.add_argument(
+        "--no-bench", action="store_true",
+        help="skip the perf-trajectory section even when benchmarks/BENCH_*.json exists",
+    )
+    report_parser.add_argument(
+        "--title", default="C3 reproduction — sweep report", help="report title",
+    )
+    report_parser.add_argument(
+        "--output", default="sweep-report.md", metavar="PATH",
+        help="markdown output path (default: sweep-report.md)",
+    )
+    report_parser.add_argument(
+        "--html", dest="html_path", metavar="PATH",
+        help="also render a standalone HTML page to PATH",
     )
     return parser
 
@@ -403,7 +543,34 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_seed_args(num_seeds: int, base_seed: int) -> str | None:
+    """A clean error message for invalid seed-range flags, or ``None``."""
+    if num_seeds < 1:
+        return f"--num-seeds must be >= 1, got {num_seeds}"
+    if base_seed < 0:
+        return f"--base-seed must be >= 0, got {base_seed}"
+    return None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    seed_error = _check_seed_args(args.num_seeds, args.base_seed)
+    if seed_error:
+        print(seed_error, file=sys.stderr)
+        return 2
+    checkpointing = args.checkpoint or args.resume
+    if checkpointing and args.no_cache:
+        print(
+            "--checkpoint/--resume need the trial cache (it stores the completed "
+            "results a resume reloads); drop --no-cache",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_trials is not None and not checkpointing:
+        print("--max-trials defers trials to a later --resume, so it requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.max_trials is not None and args.max_trials < 0:
+        print(f"--max-trials must be >= 0, got {args.max_trials}", file=sys.stderr)
+        return 2
     grid = {
         "strategy": tuple(args.strategies or ("C3", "LOR", "RR")),
         "utilization": tuple(args.utilizations or (0.7,)),
@@ -446,9 +613,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         parallel=not args.serial,
     )
+    checkpoint = None
+    if checkpointing:
+        manifest_path = checkpoint_path_for(args.cache_dir, spec.key)
+        if args.resume and not manifest_path.is_file():
+            print(
+                f"nothing to resume: no checkpoint manifest at {manifest_path} "
+                f"(run with --checkpoint first, or check --cache-dir)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            checkpoint = SweepCheckpoint.open(spec, manifest_path)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
     mode = "serial" if args.serial else f"pool x{runner.max_workers}"
     print(f"sweep {spec.key[:12]}: {spec.describe()} [{mode}]")
-    result = runner.run(spec)
+    if checkpoint is not None:
+        print(f"checkpoint: {checkpoint.path} ({checkpoint.describe_progress()})")
+    result = runner.run(spec, checkpoint=checkpoint, max_trials=args.max_trials)
+    if not result.complete:
+        print(
+            f"trials: {result.total_trials} total, {result.executed} executed, "
+            f"{result.cached} from cache, wall {result.wall_time_s:.2f}s"
+        )
+        print(
+            f"sweep incomplete: {len(result.trials)}/{result.total_trials} trials "
+            f"complete; rerun with --resume to continue"
+        )
+        if args.json_path:
+            saved = result.save(args.json_path)
+            print(f"saved (partial): {saved}")
+        return 0
 
     param_headers = {
         "strategy": "strategy",
@@ -491,6 +688,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"trials: {len(result.trials)} total, {result.executed} executed, "
         f"{result.cached} from cache, wall {result.wall_time_s:.2f}s"
     )
+    # Wall-time-independent content hash: identical across serial/pool,
+    # cache-served, and interrupted-then-resumed executions of one spec.
+    print(f"sweep digest: {result.digest()}")
     if args.json_path:
         saved = result.save(args.json_path)
         print(f"saved: {saved}")
@@ -551,6 +751,141 @@ def _cmd_scale(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_search(args: argparse.Namespace) -> int:
+    seed_error = _check_seed_args(args.num_seeds, args.base_seed)
+    if seed_error:
+        print(seed_error, file=sys.stderr)
+        return 2
+    raw_values = [chunk.strip() for chunk in args.values.split(",") if chunk.strip()]
+    if not raw_values:
+        print(f"--values needs at least one candidate, got {args.values!r}", file=sys.stderr)
+        return 2
+    candidates = [f"{args.strategy}:{args.param}={value}" for value in raw_values]
+    try:
+        base = SimulationConfig(
+            num_servers=args.servers,
+            num_clients=args.clients,
+            num_requests=args.requests,
+            utilization=args.utilization,
+            fluctuation_interval_ms=args.interval,
+            strategy=args.strategy,
+            kernel=args.kernel,
+            rng=args.rng,
+        )
+        seeds = seed_range(args.num_seeds, args.base_seed)
+        runner = SweepRunner(
+            max_workers=args.workers,
+            cache_dir=None if args.no_cache else args.cache_dir,
+            parallel=not args.serial,
+        )
+        minimize = args.metric != "throughput_rps"
+        mode = "serial" if args.serial else f"pool x{runner.max_workers}"
+        direction = "minimize" if minimize else "maximize"
+        print(
+            f"search: {direction} {args.metric} over {len(candidates)} candidates "
+            f"({args.strategy}:{args.param}) × {len(seeds)} seeds, eta={args.eta} [{mode}]"
+        )
+        result = successive_halving(
+            base,
+            "strategy",
+            candidates,
+            seeds,
+            metric=args.metric,
+            eta=args.eta,
+            min_seeds=args.min_seeds,
+            minimize=minimize,
+            runner=runner,
+        )
+    except ValueError as error:
+        # Unknown strategies/params, malformed values, and bad schedule
+        # knobs all surface as the CLI's clean exit-2 error shape.
+        print(error, file=sys.stderr)
+        return 2
+    rows = []
+    for rung in result.rungs:
+        rung_best = rung.promoted[0]
+        rows.append(
+            [
+                rung.rung,
+                len(rung.candidates),
+                len(rung.seeds),
+                rung.executed,
+                rung.cached,
+                f"{rung_best} ({rung.scores[rung_best]:.3f})",
+            ]
+        )
+    print(format_table(
+        ["rung", "candidates", "seeds", "executed", "cached", "rung best (score)"], rows
+    ))
+    print(f"winner: {result.best}  {args.metric}={result.best_score:.3f}  digest {result.best_digest}")
+    print(
+        f"trials: {result.executed} executed of {result.dense_trials} dense "
+        f"({result.executed_fraction:.1%} of the grid), {result.cached} from cache, "
+        f"wall {result.wall_time_s:.2f}s"
+    )
+    if args.json_path:
+        saved = result.save(args.json_path)
+        print(f"saved: {saved}")
+    if args.compare_dense:
+        dense_best, dense_score, dense_digest, dense_executed = dense_argmin(
+            base, "strategy", candidates, seeds,
+            metric=args.metric, minimize=minimize, runner=runner,
+        )
+        print(
+            f"dense argmin: {dense_best}  {args.metric}={dense_score:.3f}  "
+            f"digest {dense_digest} ({dense_executed} additional trials executed)"
+        )
+        if dense_digest == result.best_digest:
+            print("winner matches dense argmin")
+        else:
+            print(
+                f"SEARCH MISMATCH: search winner {result.best} != dense argmin {dense_best}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    sweeps = []
+    for path in args.sweep_paths or ():
+        try:
+            sweeps.append((Path(path).stem, SweepResult.load(path)))
+        except (OSError, KeyError, ValueError) as error:
+            print(f"cannot load sweep result {path}: {error}", file=sys.stderr)
+            return 2
+    searches = []
+    for path in args.search_paths or ():
+        try:
+            searches.append(SearchResult.load(path))
+        except (OSError, KeyError, ValueError) as error:
+            print(f"cannot load search result {path}: {error}", file=sys.stderr)
+            return 2
+    if args.no_bench:
+        bench_paths: list[Path] = []
+    elif args.bench_paths:
+        bench_paths = [Path(p) for p in args.bench_paths]
+        missing = [str(p) for p in bench_paths if not p.is_file()]
+        if missing:
+            print(f"benchmark snapshot(s) not found: {', '.join(missing)}", file=sys.stderr)
+            return 2
+    else:
+        bench_paths = sorted(Path("benchmarks").glob("BENCH_*.json"))
+    markdown = render_report(
+        sweeps=sweeps, searches=searches, bench_paths=bench_paths, title=args.title
+    )
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(markdown, encoding="utf-8")
+    print(f"wrote: {output}")
+    if args.html_path:
+        html_output = Path(args.html_path)
+        html_output.parent.mkdir(parents=True, exist_ok=True)
+        html_output.write_text(markdown_to_html(markdown, title=args.title), encoding="utf-8")
+        print(f"wrote: {html_output}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
@@ -573,6 +908,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "scale":
         return _cmd_scale(args)
+    if args.command == "search":
+        return _cmd_search(args)
+    if args.command == "report":
+        return _cmd_report(args)
     parser.print_help()
     return 1
 

@@ -50,8 +50,17 @@ produce byte-identical measurements for a given spec.
 """
 
 from .cache import TrialCache
+from .checkpoint import CheckpointMismatch, SweepCheckpoint, checkpoint_path_for
 from .results import GridPointAggregate, SweepResult, TrialResult, aggregate_trials
 from .runner import SweepRunner, execute_trial
+from .search import (
+    RungResult,
+    SearchResult,
+    candidate_digest,
+    dense_argmin,
+    rung_schedule,
+    successive_halving,
+)
 from .spec import (
     SweepSpec,
     TrialSpec,
@@ -63,7 +72,11 @@ from .spec import (
 )
 
 __all__ = [
+    "CheckpointMismatch",
     "GridPointAggregate",
+    "RungResult",
+    "SearchResult",
+    "SweepCheckpoint",
     "SweepRunner",
     "SweepResult",
     "SweepSpec",
@@ -71,10 +84,15 @@ __all__ = [
     "TrialResult",
     "TrialSpec",
     "aggregate_trials",
+    "candidate_digest",
     "canonical_json",
+    "checkpoint_path_for",
     "config_to_payload",
     "content_hash",
+    "dense_argmin",
     "execute_trial",
     "payload_to_config",
+    "rung_schedule",
     "seed_range",
+    "successive_halving",
 ]

@@ -1,0 +1,207 @@
+"""Resumable sweep checkpoints: a manifest of per-trial completion state.
+
+A :class:`SweepCheckpoint` records everything needed to continue an
+interrupted (or deliberately budget-capped) sweep exactly where it stopped:
+the spec's content digest, the cache key of every trial in expansion order,
+and which trials have completed.  The manifest lives under the trial cache
+root (``<cache-dir>/checkpoints/<spec-key>.json`` by default) and is
+rewritten atomically after every completion, so a killed run — ``SIGKILL``
+included — can never leave it ahead of the cache: a trial is marked
+completed only *after* its result payload has been persisted.
+
+Resume correctness rests on two invariants the runner maintains:
+
+* **The manifest never substitutes for the cache.**  Completion marks are
+  an index, not a result store; a resumed run re-checks the cache for every
+  trial, so a wiped cache simply re-executes (and a stale mark is harmless).
+* **The spec digest gates every resume.**  A manifest written for one spec
+  cannot silently continue a different one — any change to the base config,
+  grid, or seeds produces a new spec key and therefore a
+  :class:`CheckpointMismatch` instead of a partial mixed result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .spec import SweepSpec
+
+__all__ = ["CheckpointMismatch", "SweepCheckpoint", "checkpoint_path_for"]
+
+#: Manifest schema version; bump on incompatible layout changes.
+_VERSION = 1
+
+
+class CheckpointMismatch(ValueError):
+    """A manifest exists but belongs to a different sweep spec."""
+
+
+def checkpoint_path_for(cache_root: str | os.PathLike[str], spec_key: str) -> Path:
+    """The default manifest location for ``spec_key`` under ``cache_root``."""
+    return Path(cache_root) / "checkpoints" / f"{spec_key}.json"
+
+
+class SweepCheckpoint:
+    """Incremental completion manifest for one sweep spec.
+
+    Construct via :meth:`create` (new manifest), :meth:`load` (existing
+    manifest), or :meth:`open` (load-or-create, validated against a spec).
+    Mutations persist immediately and atomically.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike[str],
+        spec_key: str,
+        trial_keys: Iterable[str],
+        completed: Iterable[int] = (),
+        description: str = "",
+    ) -> None:
+        self.path = Path(path)
+        self.spec_key = spec_key
+        self.trial_keys = tuple(trial_keys)
+        self.description = description
+        self._completed: set[int] = set()
+        for index in completed:
+            if not 0 <= index < len(self.trial_keys):
+                raise ValueError(
+                    f"completed index {index} out of range for {len(self.trial_keys)} trials",
+                )
+            self._completed.add(int(index))
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def create(cls, spec: "SweepSpec", path: str | os.PathLike[str]) -> "SweepCheckpoint":
+        """Start a fresh manifest for ``spec`` at ``path`` (overwrites)."""
+        checkpoint = cls(
+            path=path,
+            spec_key=spec.key,
+            trial_keys=[trial.key for trial in spec.trials()],
+            description=spec.describe(),
+        )
+        checkpoint.save()
+        return checkpoint
+
+    @classmethod
+    def load(cls, path: str | os.PathLike[str]) -> "SweepCheckpoint":
+        """Read an existing manifest; raises ``ValueError`` if unusable."""
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as error:
+            raise ValueError(f"cannot read sweep checkpoint {path}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise ValueError(f"corrupt sweep checkpoint {path}: {error}") from error
+        if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported sweep checkpoint {path} "
+                f"(version {payload.get('version') if isinstance(payload, dict) else '?'})"
+            )
+        return cls(
+            path=path,
+            spec_key=payload["spec_key"],
+            trial_keys=payload["trial_keys"],
+            completed=payload["completed"],
+            description=payload.get("description", ""),
+        )
+
+    @classmethod
+    def open(cls, spec: "SweepSpec", path: str | os.PathLike[str]) -> "SweepCheckpoint":
+        """Load the manifest at ``path`` for ``spec``, or create one.
+
+        An existing manifest for a *different* spec raises
+        :class:`CheckpointMismatch` — resuming must never mix trials from
+        two sweeps.
+        """
+        path = Path(path)
+        if not path.is_file():
+            return cls.create(spec, path)
+        checkpoint = cls.load(path)
+        if checkpoint.spec_key != spec.key:
+            raise CheckpointMismatch(
+                f"checkpoint {path} was written for sweep {checkpoint.spec_key[:12]} "
+                f"({checkpoint.description or 'unknown shape'}), not the requested sweep "
+                f"{spec.key[:12]} ({spec.describe()}); delete the manifest or point "
+                f"--checkpoint elsewhere to start over"
+            )
+        return checkpoint
+
+    # -------------------------------------------------------------- inspection
+    @property
+    def num_trials(self) -> int:
+        """Total trials in the sweep this manifest tracks."""
+        return len(self.trial_keys)
+
+    @property
+    def num_completed(self) -> int:
+        """How many trials have been marked complete."""
+        return len(self._completed)
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every trial has completed."""
+        return len(self._completed) == len(self.trial_keys)
+
+    def completed_indices(self) -> tuple[int, ...]:
+        """The completed trial indices, sorted."""
+        return tuple(sorted(self._completed))
+
+    def pending_indices(self) -> tuple[int, ...]:
+        """The not-yet-completed trial indices, in expansion order."""
+        return tuple(i for i in range(len(self.trial_keys)) if i not in self._completed)
+
+    def is_completed(self, index: int) -> bool:
+        """Whether trial ``index`` has been marked complete."""
+        return index in self._completed
+
+    def describe_progress(self) -> str:
+        """Human one-liner: ``K/N trials complete``."""
+        return f"{self.num_completed}/{self.num_trials} trials complete"
+
+    # --------------------------------------------------------------- mutation
+    def mark_completed(self, *indices: int) -> None:
+        """Mark trials complete and persist the manifest once.
+
+        Idempotent: re-marking an already-completed trial neither errors
+        nor rewrites state unnecessarily.
+        """
+        added = False
+        for index in indices:
+            if not 0 <= index < len(self.trial_keys):
+                raise ValueError(
+                    f"trial index {index} out of range for {len(self.trial_keys)} trials",
+                )
+            if index not in self._completed:
+                self._completed.add(index)
+                added = True
+        if added:
+            self.save()
+
+    def save(self) -> Path:
+        """Atomically persist the manifest (temp file + ``os.replace``)."""
+        payload = {
+            "version": _VERSION,
+            "spec_key": self.spec_key,
+            "description": self.description,
+            "num_trials": len(self.trial_keys),
+            "trial_keys": list(self.trial_keys),
+            "completed": sorted(self._completed),
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=self.path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return self.path

@@ -202,13 +202,25 @@ def aggregate_trials(
 
 @dataclass
 class SweepResult:
-    """Everything one :class:`~repro.runner.SweepRunner.run` produced."""
+    """Everything one :class:`~repro.runner.SweepRunner.run` produced.
+
+    ``total_trials`` is the spec's full trial count; a budget-capped
+    (``max_trials``) run completes only a subset, leaving ``trials`` shorter
+    than ``total_trials`` and :attr:`complete` False.  ``None`` (legacy
+    payloads) means "assume complete".
+    """
 
     spec_key: str
     trials: list[TrialResult] = field(default_factory=list)
     executed: int = 0
     cached: int = 0
     wall_time_s: float = 0.0
+    total_trials: int | None = None
+
+    @property
+    def complete(self) -> bool:
+        """Whether every trial of the spec is present."""
+        return self.total_trials is None or len(self.trials) == self.total_trials
 
     def aggregates(self, confidence: float = 0.95) -> list[GridPointAggregate]:
         """Per-grid-point reductions across seeds (spec expansion order)."""
@@ -218,12 +230,32 @@ class SweepResult:
         """The measurement digests in expansion order (determinism checks)."""
         return [t.result_digest for t in self.trials]
 
+    def digest(self) -> str:
+        """Content hash of the deterministic portion of the result.
+
+        Covers the spec key and, per trial, everything a re-run must
+        reproduce: params, seed, cache key, latency summary, counters, and
+        the measurement digest.  Excludes wall-clock times and
+        executed/cached provenance, so a sweep served from cache — or
+        interrupted and resumed across any number of invocations — hashes
+        identically to one uninterrupted run of the same spec.
+        """
+        from .spec import content_hash  # local import to avoid a cycle at load
+
+        stripped = []
+        for trial in self.trials:
+            payload = trial.to_dict()
+            del payload["wall_time_s"]
+            stripped.append(payload)
+        return content_hash({"spec_key": self.spec_key, "trials": stripped})
+
     def to_dict(self) -> dict:
         return {
             "spec_key": self.spec_key,
             "executed": self.executed,
             "cached": self.cached,
             "wall_time_s": self.wall_time_s,
+            "total_trials": self.total_trials if self.total_trials is not None else len(self.trials),
             "trials": [t.to_dict() for t in self.trials],
             "aggregates": [a.to_dict() for a in self.aggregates()],
         }
@@ -245,4 +277,5 @@ class SweepResult:
             executed=payload["executed"],
             cached=payload["cached"],
             wall_time_s=payload["wall_time_s"],
+            total_trials=payload.get("total_trials"),
         )

@@ -19,17 +19,26 @@ payloads tiny and spawn-start-method safe.  Streaming-mode trials return
 their latency histograms inside the summary dict as serialized bucket maps
 (O(buckets), not O(requests)), so even million-request trials ship
 kilobytes between processes.
+
+Resumable execution: ``run(spec, checkpoint=..., max_trials=...)`` threads a
+:class:`~repro.runner.checkpoint.SweepCheckpoint` through the run.  Each
+trial is cached *then* marked complete as it finishes (completion order, not
+batch order), so an interrupt at any point — including ``SIGKILL`` mid-pool —
+leaves a manifest from which the next run continues with zero re-executed
+trials; ``max_trials`` bounds how many cache misses one invocation may
+execute, turning the same mechanism into deliberate budget slicing.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Sequence
 
 from ..simulator.simulation import run_simulation
 from .cache import TrialCache
+from .checkpoint import CheckpointMismatch, SweepCheckpoint
 from .results import SweepResult, TrialResult
 from .spec import SweepSpec, TrialSpec, config_to_payload, payload_to_config
 
@@ -86,8 +95,29 @@ class SweepRunner:
         self.parallel = parallel
 
     # ---------------------------------------------------------------- running
-    def run(self, spec: SweepSpec) -> SweepResult:
-        """Execute (or fetch from cache) every trial of ``spec``."""
+    def run(
+        self,
+        spec: SweepSpec,
+        checkpoint: SweepCheckpoint | None = None,
+        max_trials: int | None = None,
+    ) -> SweepResult:
+        """Execute (or fetch from cache) every trial of ``spec``.
+
+        With a ``checkpoint``, completion state is persisted incrementally
+        (cache write first, then the completion mark — the manifest can
+        trail the cache but never lead it).  ``max_trials`` caps how many
+        cache *misses* this invocation executes; deferred trials stay
+        pending in the checkpoint and the returned result is partial
+        (``result.complete`` is False, ``result.trials`` holds the
+        completed prefix-by-expansion-order subset only).
+        """
+        if max_trials is not None and max_trials < 0:
+            raise ValueError("max_trials must be >= 0")
+        if checkpoint is not None and checkpoint.spec_key != spec.key:
+            raise CheckpointMismatch(
+                f"checkpoint {checkpoint.path} tracks sweep {checkpoint.spec_key[:12]}, "
+                f"not {spec.key[:12]} ({spec.describe()})"
+            )
         started = time.perf_counter()
         trials = spec.trials()
         slots: list[TrialResult | None] = [None] * len(trials)
@@ -106,24 +136,53 @@ class SweepRunner:
                     slots[trial.index] = None
             if slots[trial.index] is None:
                 pending.append((trial, key))
+        if checkpoint is not None:
+            # Cache hits are completed by definition; one batched mark keeps
+            # the manifest write count proportional to executions, not size.
+            checkpoint.mark_completed(
+                *(i for i, slot in enumerate(slots) if slot is not None)
+            )
 
-        for index, payload in self._execute(pending):
+        deferred = 0
+        if max_trials is not None and len(pending) > max_trials:
+            deferred = len(pending) - max_trials
+            pending = pending[:max_trials]
+
+        def on_result(index: int, payload: dict) -> None:
             result = TrialResult.from_dict(payload)
             slots[index] = result
             if self.cache is not None:
                 self.cache.put(result.key, payload)
+            if checkpoint is not None:
+                # Marked only after the cache write above has been replaced
+                # into place, so a kill between the two re-executes (safe)
+                # rather than skipping (wrong).
+                checkpoint.mark_completed(index)
 
-        assert all(slot is not None for slot in slots)
+        self._execute(pending, on_result)
+
+        completed = [slot for slot in slots if slot is not None]
+        assert len(completed) == len(trials) - deferred
         return SweepResult(
             spec_key=spec.key,
-            trials=list(slots),  # type: ignore[arg-type]
+            trials=completed,
             executed=len(pending),
-            cached=len(trials) - len(pending),
+            cached=len(trials) - len(pending) - deferred,
             wall_time_s=time.perf_counter() - started,
+            total_trials=len(trials),
         )
 
-    def _execute(self, pending: Sequence[tuple[TrialSpec, str]]) -> list[tuple[int, dict]]:
-        """Run the cache misses, serially or through the pool."""
+    def _execute(
+        self,
+        pending: Sequence[tuple[TrialSpec, str]],
+        on_result: Callable[[int, dict], None],
+    ) -> None:
+        """Run the cache misses, serially or through the pool.
+
+        ``on_result`` fires once per trial *as it completes* (completion
+        order under the pool), which is what makes checkpoint marks and
+        cache writes incremental rather than end-of-batch.
+        """
         jobs = [
             {
                 "index": trial.index,
@@ -135,11 +194,17 @@ class SweepRunner:
             for trial, key in pending
         ]
         if not jobs:
-            return []
+            return
         if not self.parallel or self.max_workers == 1 or len(jobs) == 1:
-            outputs = [execute_trial(job) for job in jobs]
-        else:
-            workers = min(self.max_workers, len(jobs))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outputs = list(pool.map(execute_trial, jobs))
-        return [(out["index"], out["trial"]) for out in outputs]
+            for job in jobs:
+                out = execute_trial(job)
+                on_result(out["index"], out["trial"])
+            return
+        workers = min(self.max_workers, len(jobs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(execute_trial, job) for job in jobs}
+            while futures:
+                done, futures = wait(futures, return_when=FIRST_COMPLETED)
+                for future in done:
+                    out = future.result()
+                    on_result(out["index"], out["trial"])

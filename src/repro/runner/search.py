@@ -1,0 +1,333 @@
+"""Adaptive parameter search: successive halving over sweep grid axes.
+
+Dense grids pay ``candidates × seeds`` trials to rank every configuration at
+full replication, even though most candidates are separable after a seed or
+two.  :func:`successive_halving` ranks the same candidate set in a fraction
+of the trials: rung 0 evaluates *every* candidate on a small seed prefix,
+each following rung keeps the best ``1/eta`` of the survivors and replicates
+them on a larger prefix, and the final rung always runs at the *full* seed
+set — so the winner is, by construction, the argmin over every candidate
+that was evaluated at full replication.
+
+Determinism is inherited rather than re-proven: every rung is an ordinary
+:class:`~repro.runner.SweepSpec` executed through a
+:class:`~repro.runner.SweepRunner`, so serial and pooled searches produce
+identical rung tables and winners, and a shared trial cache makes the seed
+prefixes *nest* — rung ``i+1`` re-executes only the seeds rung ``i`` has not
+already paid for, and a later dense sweep of the same grid reuses every
+search trial.
+
+Seeding is deterministic by construction: rung ``i`` uses the first
+``r_i`` seeds of the caller's seed tuple, with ``r_i`` growing by ``eta``
+per rung until the final rung reaches the full set.  Ties rank by candidate
+position, so the promotion sequence is a pure function of the spec.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..simulator import SimulationConfig
+from ..strategies import StrategySpec
+from .results import AGGREGATE_METRICS
+from .runner import SweepRunner
+from .spec import SweepSpec, content_hash
+
+__all__ = [
+    "RungResult",
+    "SearchResult",
+    "candidate_digest",
+    "dense_argmin",
+    "rung_schedule",
+    "successive_halving",
+]
+
+
+def rung_schedule(
+    num_candidates: int,
+    num_seeds: int,
+    eta: int,
+    min_seeds: int = 1,
+) -> list[tuple[int, int]]:
+    """The ``[(candidates, seeds)]`` plan for one search, first rung first.
+
+    Candidate counts shrink by ``ceil(n / eta)`` per rung until one survivor
+    remains; seed counts grow geometrically so that the *final* rung always
+    uses all ``num_seeds`` (the winner must be ranked at full replication).
+    """
+    if num_candidates < 1:
+        raise ValueError("need at least one candidate")
+    if num_seeds < 1:
+        raise ValueError("need at least one seed")
+    if eta < 2:
+        raise ValueError(f"eta must be >= 2, got {eta}")
+    if min_seeds < 1:
+        raise ValueError(f"min_seeds must be >= 1, got {min_seeds}")
+    counts = [num_candidates]
+    while counts[-1] > 1:
+        survivors = math.ceil(counts[-1] / eta)
+        if survivors <= 1:
+            break
+        counts.append(survivors)
+    rungs = len(counts)
+    schedule = []
+    for i, n in enumerate(counts):
+        r = max(min_seeds, math.ceil(num_seeds / eta ** (rungs - 1 - i)))
+        schedule.append((n, min(r, num_seeds)))
+    return schedule
+
+
+def candidate_digest(axis: str, value: Any) -> str:
+    """A stable content digest identifying one candidate configuration.
+
+    Strategy-axis candidates digest through :class:`StrategySpec`, so every
+    spelling of the same parameterization shares a digest; other axes hash
+    their canonical JSON value.
+    """
+    if axis == "strategy":
+        return StrategySpec.parse(value).digest()
+    return content_hash({axis: value})
+
+
+@dataclass(frozen=True)
+class RungResult:
+    """One rung's evaluations: candidates × a seed prefix, scored."""
+
+    rung: int
+    candidates: tuple[Any, ...]
+    seeds: tuple[int, ...]
+    scores: dict[Any, float]
+    executed: int
+    cached: int
+    promoted: tuple[Any, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "rung": self.rung,
+            "candidates": list(self.candidates),
+            "seeds": list(self.seeds),
+            "scores": [[candidate, self.scores[candidate]] for candidate in self.candidates],
+            "executed": self.executed,
+            "cached": self.cached,
+            "promoted": list(self.promoted),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RungResult":
+        return cls(
+            rung=payload["rung"],
+            candidates=tuple(payload["candidates"]),
+            seeds=tuple(payload["seeds"]),
+            scores={candidate: score for candidate, score in payload["scores"]},
+            executed=payload["executed"],
+            cached=payload["cached"],
+            promoted=tuple(payload["promoted"]),
+        )
+
+
+@dataclass
+class SearchResult:
+    """The outcome of one successive-halving search."""
+
+    axis: str
+    metric: str
+    minimize: bool
+    eta: int
+    best: Any
+    best_score: float
+    best_digest: str
+    full_scores: dict[Any, float] = field(default_factory=dict)
+    rungs: list[RungResult] = field(default_factory=list)
+    executed: int = 0
+    cached: int = 0
+    dense_trials: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def executed_fraction(self) -> float:
+        """Executed trials as a fraction of the dense grid's trial count."""
+        if self.dense_trials <= 0:
+            return 0.0
+        return self.executed / self.dense_trials
+
+    def to_dict(self) -> dict:
+        return {
+            "axis": self.axis,
+            "metric": self.metric,
+            "minimize": self.minimize,
+            "eta": self.eta,
+            "best": self.best,
+            "best_score": self.best_score,
+            "best_digest": self.best_digest,
+            "full_scores": [[candidate, score] for candidate, score in self.full_scores.items()],
+            "rungs": [rung.to_dict() for rung in self.rungs],
+            "executed": self.executed,
+            "cached": self.cached,
+            "dense_trials": self.dense_trials,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SearchResult":
+        return cls(
+            axis=payload["axis"],
+            metric=payload["metric"],
+            minimize=payload["minimize"],
+            eta=payload["eta"],
+            best=payload["best"],
+            best_score=payload["best_score"],
+            best_digest=payload["best_digest"],
+            full_scores={candidate: score for candidate, score in payload["full_scores"]},
+            rungs=[RungResult.from_dict(rung) for rung in payload["rungs"]],
+            executed=payload["executed"],
+            cached=payload["cached"],
+            dense_trials=payload["dense_trials"],
+            wall_time_s=payload["wall_time_s"],
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Persist as a JSON document (the ``c3-repro report`` input shape)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SearchResult":
+        """Rebuild from :meth:`save` output."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def _canonical_candidates(
+    base: SimulationConfig,
+    axis: str,
+    candidates: Sequence[Any],
+) -> tuple[Any, ...]:
+    """Canonicalize ``candidates`` exactly the way a sweep grid would.
+
+    Strategy/control axes normalize spelling (``"c3:cubic_c=2e-4"`` →
+    ``"C3:gamma=0.0002"``); duplicates after canonicalization are rejected
+    because they would silently halve the search space.
+    """
+    probe = SweepSpec(base=base, grid={axis: tuple(candidates)}, seeds=(0,))
+    canonical = probe.grid[axis]
+    if len(set(canonical)) != len(canonical):
+        duplicates = sorted({c for c in canonical if canonical.count(c) > 1})
+        raise ValueError(f"duplicate candidates after canonicalization: {duplicates}")
+    return canonical
+
+
+def _rank(survivors: Sequence[Any], scores: dict[Any, float], minimize: bool) -> list[Any]:
+    """Survivors ordered best-first; ties break by candidate position."""
+    sign = 1.0 if minimize else -1.0
+    order = sorted(range(len(survivors)), key=lambda j: (sign * scores[survivors[j]], j))
+    return [survivors[j] for j in order]
+
+
+def successive_halving(
+    base: SimulationConfig,
+    axis: str,
+    candidates: Sequence[Any],
+    seeds: Sequence[int],
+    metric: str = "p999",
+    eta: int = 2,
+    min_seeds: int = 1,
+    minimize: bool = True,
+    runner: SweepRunner | None = None,
+) -> SearchResult:
+    """Find the ``metric``-optimal value of ``axis`` by successive halving.
+
+    Each rung is one :class:`SweepSpec` run through ``runner`` (serial, no
+    cache, if omitted); a candidate's rung score is the mean of ``metric``
+    across the rung's seeds.  The final rung runs every remaining candidate
+    at the full seed set, so the returned ``best`` is never worse (on the
+    full-seed score) than any other candidate evaluated at full
+    replication — the invariant the property suite pins.
+    """
+    if metric not in AGGREGATE_METRICS:
+        raise ValueError(f"unknown metric {metric!r}; choose one of {', '.join(AGGREGATE_METRICS)}")
+    runner = runner or SweepRunner(max_workers=1, parallel=False)
+    canonical = _canonical_candidates(base, axis, candidates)
+    seeds = tuple(int(s) for s in seeds)
+    schedule = rung_schedule(len(canonical), len(seeds), eta, min_seeds)
+
+    survivors: list[Any] = list(canonical)
+    rungs: list[RungResult] = []
+    full_scores: dict[Any, float] = {}
+    executed = cached = 0
+    wall = 0.0
+    for i, (n, r) in enumerate(schedule):
+        assert len(survivors) == n
+        rung_seeds = seeds[:r]
+        spec = SweepSpec(base=base, grid={axis: tuple(survivors)}, seeds=rung_seeds)
+        result = runner.run(spec)
+        scores = {point.params[axis]: point.metrics[metric].mean for point in result.aggregates()}
+        promoted_count = 1 if i == len(schedule) - 1 else schedule[i + 1][0]
+        promoted = _rank(survivors, scores, minimize)[:promoted_count]
+        rungs.append(
+            RungResult(
+                rung=i,
+                candidates=tuple(survivors),
+                seeds=rung_seeds,
+                scores=scores,
+                executed=result.executed,
+                cached=result.cached,
+                promoted=tuple(promoted),
+            )
+        )
+        executed += result.executed
+        cached += result.cached
+        wall += result.wall_time_s
+        if r == len(seeds):
+            # Any rung that happened to run at full replication contributes
+            # to the "configs actually evaluated" set the winner must beat.
+            full_scores.update(scores)
+        survivors = promoted
+
+    best = survivors[0]
+    return SearchResult(
+        axis=axis,
+        metric=metric,
+        minimize=minimize,
+        eta=eta,
+        best=best,
+        best_score=full_scores[best],
+        best_digest=candidate_digest(axis, best),
+        full_scores=full_scores,
+        rungs=rungs,
+        executed=executed,
+        cached=cached,
+        dense_trials=len(canonical) * len(seeds),
+        wall_time_s=wall,
+    )
+
+
+def dense_argmin(
+    base: SimulationConfig,
+    axis: str,
+    candidates: Sequence[Any],
+    seeds: Sequence[int],
+    metric: str = "p999",
+    minimize: bool = True,
+    runner: SweepRunner | None = None,
+) -> tuple[Any, float, str, int]:
+    """The dense-grid reference: every candidate × every seed, argmin'd.
+
+    Returns ``(best candidate, score, candidate digest, executed trials)``
+    — the comparison target for a search's ≤ X% budget claim.  Sharing the
+    search's runner (and so its cache) makes the dense pass reuse every
+    trial the search already executed.
+    """
+    if metric not in AGGREGATE_METRICS:
+        raise ValueError(f"unknown metric {metric!r}; choose one of {', '.join(AGGREGATE_METRICS)}")
+    runner = runner or SweepRunner(max_workers=1, parallel=False)
+    canonical = _canonical_candidates(base, axis, candidates)
+    spec = SweepSpec(base=base, grid={axis: canonical}, seeds=tuple(int(s) for s in seeds))
+    result = runner.run(spec)
+    scores = {point.params[axis]: point.metrics[metric].mean for point in result.aggregates()}
+    best = _rank(list(canonical), scores, minimize)[0]
+    return best, scores[best], candidate_digest(axis, best), result.executed

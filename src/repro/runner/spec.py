@@ -133,7 +133,11 @@ def payload_to_config(payload: Mapping[str, Any]) -> SimulationConfig:
 def seed_range(num_seeds: int, base_seed: int = 0) -> tuple[int, ...]:
     """The deterministic seed set ``base_seed .. base_seed + num_seeds - 1``."""
     if num_seeds < 1:
-        raise ValueError("num_seeds must be >= 1")
+        raise ValueError(f"num_seeds must be >= 1, got {num_seeds}")
+    if base_seed < 0:
+        # numpy's default_rng rejects negative seeds, but only deep inside a
+        # (possibly pooled) trial; fail here with an actionable message.
+        raise ValueError(f"base_seed must be >= 0, got {base_seed}")
     return tuple(range(base_seed, base_seed + num_seeds))
 
 

@@ -1,0 +1,144 @@
+"""Tests for the single-command sweep report renderer."""
+
+import json
+
+from repro.analysis import bench_means, markdown_to_html, render_report
+from repro.analysis.report_sweep import (
+    render_bench_section,
+    render_search_section,
+    render_sweep_section,
+)
+from repro.runner import (
+    SearchResult,
+    SweepRunner,
+    SweepSpec,
+    seed_range,
+    successive_halving,
+)
+from repro.simulator import SimulationConfig
+
+
+def tiny_sweep():
+    spec = SweepSpec(
+        base=SimulationConfig(num_servers=5, num_clients=4, num_requests=60, utilization=0.6),
+        grid={"strategy": ("C3", "LOR")},
+        seeds=seed_range(2),
+    )
+    return SweepRunner(max_workers=1, parallel=False).run(spec)
+
+
+def tiny_search():
+    base = SimulationConfig(num_servers=5, num_clients=4, num_requests=60, utilization=0.6)
+    candidates = ["c3:cubic_c=1e-4", "c3:cubic_c=5e-4", "c3:cubic_c=1e-3"]
+    return successive_halving(base, "strategy", candidates, seeds=range(2))
+
+
+def write_bench(path, names_to_means):
+    payload = {
+        "benchmarks": [
+            {"fullname": f"benchmarks/x.py::{name}", "name": name, "stats": {"mean": mean}}
+            for name, mean in names_to_means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestSections:
+    def test_sweep_section_has_one_row_per_grid_point(self):
+        section = render_sweep_section("demo", tiny_sweep())
+        assert "## Sweep: demo" in section
+        assert "4 trials, 4 executed, 0 from cache" in section
+        assert "complete." in section
+        rows = [line for line in section.splitlines() if line.startswith("| ")]
+        # header + separator + 2 grid points
+        assert len(rows) == 4
+        assert "p99.9 (ms)" in rows[0]
+        assert any("C3" in row for row in rows) and any("LOR" in row for row in rows)
+
+    def test_incomplete_sweep_is_flagged(self):
+        sweep = tiny_sweep()
+        sweep.total_trials = 9
+        section = render_sweep_section("partial", sweep)
+        assert "INCOMPLETE (4/9 trials)" in section
+
+    def test_search_section_names_winner_and_rungs(self):
+        search = tiny_search()
+        section = render_search_section(search)
+        assert f"**Winner: `{search.best}`**" in section
+        assert search.best_digest[:12] in section
+        assert "| rung |" in section
+        assert "Candidates ranked at full replication:" in section
+        assert f"Executed {search.executed} trials vs {search.dense_trials} dense" in section
+
+    def test_bench_section_computes_last_over_first_ratio(self, tmp_path):
+        first = write_bench(tmp_path / "BENCH_a.json", {"test_x": 1.0, "test_y": 2.0})
+        last = write_bench(tmp_path / "BENCH_b.json", {"test_x": 0.5, "test_z": 3.0})
+        section = render_bench_section([first, last])
+        assert "`BENCH_a`" in section and "`BENCH_b`" in section
+        row_x = next(line for line in section.splitlines() if "test_x" in line)
+        assert "0.50x" in row_x
+        # Benchmarks missing from either endpoint get no ratio.
+        row_z = next(line for line in section.splitlines() if "test_z" in line)
+        assert "| - |" in row_z
+
+
+class TestRenderReport:
+    def test_full_report_composes_all_sections(self, tmp_path):
+        bench = write_bench(tmp_path / "BENCH_a.json", {"test_x": 1.0})
+        markdown = render_report(
+            sweeps=[("demo", tiny_sweep())],
+            searches=[tiny_search()],
+            bench_paths=[bench],
+        )
+        assert markdown.startswith("# C3 reproduction — sweep report")
+        assert "Inputs: 1 sweep, 1 search, 1 benchmark snapshot." in markdown
+        assert "## Sweep: demo" in markdown
+        assert "## Search:" in markdown
+        assert "## Performance trajectory" in markdown
+
+    def test_empty_report_is_still_valid(self):
+        markdown = render_report()
+        assert "Inputs: none." in markdown
+
+    def test_rendering_is_deterministic(self, tmp_path):
+        sweep, search = tiny_sweep(), tiny_search()
+        once = render_report(sweeps=[("s", sweep)], searches=[search])
+        again = render_report(sweeps=[("s", sweep)], searches=[search])
+        assert once == again
+
+    def test_bench_means_reads_pytest_benchmark_json(self, tmp_path):
+        bench = write_bench(tmp_path / "BENCH_a.json", {"test_x": 1.25})
+        assert bench_means(bench) == {"benchmarks/x.py::test_x": 1.25}
+
+
+class TestMarkdownToHtml:
+    def test_headings_tables_and_inline_marks(self):
+        markdown = render_report(sweeps=[("demo", tiny_sweep())], searches=[tiny_search()])
+        page = markdown_to_html(markdown, title="report")
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<title>report</title>" in page
+        assert "<h1>" in page and "<h2>" in page
+        separators = sum(
+            1
+            for line in markdown.splitlines()
+            if line.startswith("|") and set(line) <= {"|", "-", " "}
+        )
+        assert page.count("<table>") == page.count("</table>") == separators
+        assert "<th>rung</th>" in page
+        assert "<code>" in page and "<strong>" in page
+        # No unconverted markdown syntax leaks into the page body.
+        body = page.split("<body>")[1]
+        assert "**" not in body and "| --- |" not in body
+
+    def test_html_is_escaped(self):
+        page = markdown_to_html("# t\n\na <script>alert(1)</script> & `x<y`\n")
+        assert "<script>" not in page.split("</head>")[1]
+        assert "&lt;script&gt;" in page
+        assert "&amp;" in page
+        assert "<code>x&lt;y</code>" in page
+
+    def test_bullet_lists_and_paragraph_folding(self):
+        page = markdown_to_html("para one\nstill para one\n\n- a\n- b\n")
+        assert "<p>para one still para one</p>" in page
+        assert "<ul>" in page and "<li>a</li>" in page and "<li>b</li>" in page

@@ -1,0 +1,85 @@
+"""Interrupted-sweep integration: pooled run, kill, resume, identical result.
+
+The interruption is realized as a bounded worker budget (``max_trials``),
+which exercises exactly the state a SIGKILL leaves behind: a trial cache
+holding the completed results and a checkpoint manifest marking them — the
+runner writes the cache entry *before* the completion mark, so the manifest
+can trail the cache but never lead it.
+"""
+
+from repro.runner import (
+    SweepCheckpoint,
+    SweepRunner,
+    SweepSpec,
+    checkpoint_path_for,
+    seed_range,
+)
+from repro.simulator import SimulationConfig
+
+
+def make_spec() -> SweepSpec:
+    return SweepSpec(
+        base=SimulationConfig(num_servers=9, num_clients=8, num_requests=150, utilization=0.6),
+        grid={"strategy": ("C3", "LOR", "RR")},
+        seeds=seed_range(4),
+    )
+
+
+class TestInterruptedPooledSweep:
+    def test_resume_reexecutes_nothing_and_reproduces_the_digest(self, tmp_path):
+        spec = make_spec()
+        cache_dir = tmp_path / "cache"
+        manifest = checkpoint_path_for(cache_dir, spec.key)
+
+        # Leg 1: pooled sweep interrupted after a 5-trial budget.
+        runner = SweepRunner(max_workers=2, cache_dir=cache_dir)
+        partial = runner.run(
+            spec, checkpoint=SweepCheckpoint.open(spec, manifest), max_trials=5
+        )
+        assert not partial.complete
+        assert partial.executed == 5 and len(partial.trials) == 5
+        assert SweepCheckpoint.load(manifest).describe_progress() == "5/12 trials complete"
+
+        # Leg 2: a fresh runner and a freshly loaded manifest (what a new
+        # process sees) finish the sweep, re-executing zero completed trials.
+        resumed = SweepRunner(max_workers=2, cache_dir=cache_dir).run(
+            spec, checkpoint=SweepCheckpoint.open(spec, manifest)
+        )
+        assert resumed.complete
+        assert resumed.executed == 7 and resumed.cached == 5
+        assert SweepCheckpoint.load(manifest).is_complete
+
+        # Leg 3: resuming a finished sweep is a pure cache read.
+        rerun = SweepRunner(max_workers=2, cache_dir=cache_dir).run(
+            spec, checkpoint=SweepCheckpoint.open(spec, manifest)
+        )
+        assert rerun.executed == 0 and rerun.cached == 12
+        assert rerun.digest() == resumed.digest()
+
+        # The merged result is identical to one uninterrupted run —
+        # trial-by-trial (modulo wall time) and by content digest.
+        clean = SweepRunner(max_workers=2, cache_dir=tmp_path / "clean").run(spec)
+        assert resumed.digest() == clean.digest()
+
+        def stripped(result):
+            payloads = []
+            for trial in result.trials:
+                payload = trial.to_dict()
+                payload.pop("wall_time_s")
+                payloads.append(payload)
+            return payloads
+
+        assert stripped(resumed) == stripped(clean)
+        assert [a.to_dict() for a in resumed.aggregates()] == [
+            a.to_dict() for a in clean.aggregates()
+        ]
+
+    def test_budget_zero_executes_nothing_but_keeps_the_manifest_valid(self, tmp_path):
+        spec = make_spec()
+        cache_dir = tmp_path / "cache"
+        manifest = checkpoint_path_for(cache_dir, spec.key)
+        runner = SweepRunner(max_workers=2, cache_dir=cache_dir)
+        probe = runner.run(spec, checkpoint=SweepCheckpoint.open(spec, manifest), max_trials=0)
+        assert probe.executed == 0 and len(probe.trials) == 0 and not probe.complete
+        finished = runner.run(spec, checkpoint=SweepCheckpoint.open(spec, manifest))
+        assert finished.complete and finished.executed == 12

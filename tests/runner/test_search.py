@@ -1,0 +1,187 @@
+"""Tests for successive-halving search: schedules, invariants, budgets."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runner import (
+    SweepRunner,
+    candidate_digest,
+    dense_argmin,
+    rung_schedule,
+    successive_halving,
+)
+from repro.simulator import SimulationConfig
+
+#: Distinct cubic_c spellings; canonicalization maps them to C3:gamma=… forms.
+VALUE_POOL = ("1e-5", "5e-5", "1e-4", "2e-4", "5e-4", "1e-3", "3e-3", "6e-3")
+
+
+def tiny_base(**overrides) -> SimulationConfig:
+    params = dict(num_servers=5, num_clients=4, num_requests=80, utilization=0.7)
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+def cubic_candidates(values) -> list[str]:
+    return [f"c3:cubic_c={value}" for value in values]
+
+
+class TestRungSchedule:
+    def test_reference_shape_12_candidates_8_seeds_eta3(self):
+        assert rung_schedule(12, 8, eta=3) == [(12, 1), (4, 3), (2, 8)]
+
+    def test_single_candidate_runs_one_full_rung(self):
+        assert rung_schedule(1, 5, eta=2) == [(1, 5)]
+
+    def test_min_seeds_floors_the_early_rungs(self):
+        schedule = rung_schedule(8, 8, eta=2, min_seeds=4)
+        assert all(r >= 4 for _, r in schedule)
+        assert schedule[-1][1] == 8
+
+    def test_invalid_knobs_are_rejected(self):
+        with pytest.raises(ValueError, match="at least one candidate"):
+            rung_schedule(0, 4, eta=2)
+        with pytest.raises(ValueError, match="at least one seed"):
+            rung_schedule(4, 0, eta=2)
+        with pytest.raises(ValueError, match="eta must be >= 2"):
+            rung_schedule(4, 4, eta=1)
+        with pytest.raises(ValueError, match="min_seeds must be >= 1"):
+            rung_schedule(4, 4, eta=2, min_seeds=0)
+
+    @given(
+        num_candidates=st.integers(min_value=1, max_value=60),
+        num_seeds=st.integers(min_value=1, max_value=40),
+        eta=st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_schedule_invariants(self, num_candidates, num_seeds, eta):
+        schedule = rung_schedule(num_candidates, num_seeds, eta)
+        counts = [n for n, _ in schedule]
+        seeds = [r for _, r in schedule]
+        # First rung covers every candidate; the last always runs the full
+        # seed set (the winner must be ranked at full replication).
+        assert counts[0] == num_candidates
+        assert seeds[-1] == num_seeds
+        assert all(1 <= r <= num_seeds for r in seeds)
+        assert seeds == sorted(seeds)
+        assert counts == sorted(counts, reverse=True)
+        assert all(a > b for a, b in zip(counts, counts[1:]))
+        # Each rung keeps ceil(n / eta) survivors.
+        for n, successor in zip(counts, counts[1:]):
+            assert successor == math.ceil(n / eta)
+
+
+class TestCandidateDigest:
+    def test_strategy_spellings_share_a_digest(self):
+        assert candidate_digest("strategy", "c3:cubic_c=2e-4") == candidate_digest(
+            "strategy", "C3:gamma=0.0002"
+        )
+        assert candidate_digest("strategy", "c3:cubic_c=2e-4") != candidate_digest(
+            "strategy", "c3:cubic_c=3e-4"
+        )
+
+    def test_non_strategy_axes_hash_their_value(self):
+        assert candidate_digest("utilization", 0.7) == candidate_digest("utilization", 0.7)
+        assert candidate_digest("utilization", 0.7) != candidate_digest("utilization", 0.8)
+
+
+class TestSuccessiveHalving:
+    def test_duplicate_candidates_after_canonicalization_are_rejected(self):
+        with pytest.raises(ValueError, match="duplicate candidates"):
+            successive_halving(
+                tiny_base(), "strategy", ["c3:cubic_c=2e-4", "C3:gamma=0.0002"], seeds=(0,)
+            )
+
+    def test_unknown_metric_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            successive_halving(
+                tiny_base(), "strategy", cubic_candidates(VALUE_POOL[:2]), (0,), metric="p50"
+            )
+
+    def test_winner_is_never_worse_than_any_fully_evaluated_candidate(self):
+        result = successive_halving(
+            tiny_base(), "strategy", cubic_candidates(VALUE_POOL[:6]), seeds=range(4), eta=2
+        )
+        assert result.best in result.full_scores
+        assert result.best_score == min(result.full_scores.values())
+        assert result.rungs[-1].seeds == tuple(range(4))
+        assert result.executed == sum(r.executed for r in result.rungs)
+        assert result.dense_trials == 6 * 4
+
+    @given(
+        num_values=st.integers(min_value=2, max_value=5),
+        num_seeds=st.integers(min_value=1, max_value=3),
+        eta=st.integers(min_value=2, max_value=3),
+        metric=st.sampled_from(["p999", "p99", "mean", "throughput_rps"]),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_property_winner_optimal_among_fully_evaluated(
+        self, num_values, num_seeds, eta, metric
+    ):
+        minimize = metric != "throughput_rps"
+        result = successive_halving(
+            tiny_base(num_requests=60),
+            "strategy",
+            cubic_candidates(VALUE_POOL[:num_values]),
+            seeds=range(num_seeds),
+            metric=metric,
+            eta=eta,
+            minimize=minimize,
+        )
+        # The invariant the search construction guarantees: the returned
+        # config is never worse (on the full-replication score) than any
+        # config it actually evaluated at the full seed set.
+        assert result.best in result.full_scores
+        reduce = min if minimize else max
+        assert result.best_score == reduce(result.full_scores.values())
+        assert result.best_digest == candidate_digest("strategy", result.best)
+
+    def test_serial_and_pool_searches_are_identical(self, tmp_path):
+        base = tiny_base()
+        candidates = cubic_candidates(VALUE_POOL[:4])
+        serial = successive_halving(
+            base, "strategy", candidates, seeds=range(3),
+            runner=SweepRunner(max_workers=1, cache_dir=tmp_path / "serial", parallel=False),
+        )
+        pooled = successive_halving(
+            base, "strategy", candidates, seeds=range(3),
+            runner=SweepRunner(max_workers=2, cache_dir=tmp_path / "pool"),
+        )
+        def strip(result):
+            return {k: v for k, v in result.to_dict().items() if k != "wall_time_s"}
+
+        assert strip(serial) == strip(pooled)
+
+    def test_reference_grid_budget_and_dense_argmin_match(self, tmp_path):
+        # The ROADMAP item 5 acceptance shape: 12 candidates × 8 seeds,
+        # eta=3 ⇒ 30 of 96 trials (31.2% ≤ 35%), winner digest-identical to
+        # the dense-grid argmin on the same seeds.
+        base = tiny_base()
+        values = ("1e-5", "2e-5", "5e-5", "1e-4", "1.5e-4", "2e-4",
+                  "3e-4", "5e-4", "8e-4", "1.6e-3", "3.2e-3", "6.4e-3")
+        candidates = cubic_candidates(values)
+        runner = SweepRunner(max_workers=1, cache_dir=tmp_path / "cache", parallel=False)
+        result = successive_halving(
+            base, "strategy", candidates, seeds=range(8), eta=3, runner=runner
+        )
+        assert result.dense_trials == 96
+        assert result.executed == 30
+        assert result.executed_fraction <= 0.35
+        best, score, digest, _ = dense_argmin(
+            base, "strategy", candidates, seeds=range(8), runner=runner
+        )
+        assert digest == result.best_digest
+        assert score == result.best_score
+
+    def test_search_result_round_trips_through_json(self, tmp_path):
+        from repro.runner import SearchResult
+
+        result = successive_halving(
+            tiny_base(), "strategy", cubic_candidates(VALUE_POOL[:3]), seeds=range(2)
+        )
+        path = result.save(tmp_path / "search.json")
+        loaded = SearchResult.load(path)
+        assert loaded.to_dict() == result.to_dict()
