@@ -2,7 +2,8 @@
 
 :func:`render_report` renders any combination of saved sweep results
 (:meth:`~repro.runner.SweepResult.save` JSON), successive-halving search
-results (:meth:`~repro.runner.SearchResult.save` JSON), and
+results (:meth:`~repro.runner.SearchResult.save` JSON), live-trial
+payloads (``c3-repro live`` artifact directories), and
 ``benchmarks/BENCH_*.json`` pytest-benchmark snapshots into a single
 markdown document; :func:`markdown_to_html` converts that markdown (the
 subset this module emits: headings, pipe tables, bullet lists, paragraphs)
@@ -30,6 +31,7 @@ __all__ = [
     "bench_means",
     "markdown_to_html",
     "render_bench_section",
+    "render_live_section",
     "render_report",
     "render_search_section",
     "render_sweep_section",
@@ -163,6 +165,59 @@ def render_search_section(search: SearchResult) -> str:
     return "\n".join(lines)
 
 
+def render_live_section(trials: Sequence[tuple[str, Mapping]]) -> str:
+    """One table over live-trial payloads (``live/payload.json`` dicts).
+
+    Renders config + results only — the payload's provenance block
+    (timestamps, hostname) is deliberately ignored, preserving this
+    module's re-render-is-byte-identical contract.
+    """
+    lines = ["## Live trials", ""]
+    if not trials:
+        lines.append("No live trials given.")
+        return "\n".join(lines)
+    lines.append(
+        "Localhost asyncio cluster trials (`c3-repro live`); latencies are "
+        "warmup/cooldown-trimmed streaming-histogram statistics."
+    )
+    lines.append("")
+    headers = [
+        "trial",
+        "strategy",
+        "scenario",
+        "servers",
+        "n",
+        "mean (ms)",
+        "median (ms)",
+        "p99 (ms)",
+        "p99.9 (ms)",
+        "throughput (req/s)",
+        "timeouts",
+    ]
+    rows = []
+    for label, payload in trials:
+        config = payload.get("config", {})
+        results = payload.get("results", {})
+        latency = results.get("latency_ms", {})
+        rows.append(
+            [
+                label,
+                f"`{config.get('strategy', '-')}`",
+                f"`{config.get('scenario', '-')}`",
+                config.get("num_servers", "-"),
+                results.get("trimmed_count", "-"),
+                latency.get("mean", "-"),
+                latency.get("median", "-"),
+                latency.get("p99", "-"),
+                latency.get("p999", "-"),
+                results.get("throughput_rps", "-"),
+                results.get("timeouts", "-"),
+            ]
+        )
+    lines.append(_md_table(headers, rows))
+    return "\n".join(lines)
+
+
 def render_bench_section(paths: Sequence[str | Path]) -> str:
     """The perf trajectory across benchmark snapshot files.
 
@@ -206,15 +261,18 @@ def render_report(
     sweeps: Sequence[tuple[str, SweepResult]] = (),
     searches: Sequence[SearchResult] = (),
     bench_paths: Sequence[str | Path] = (),
+    live_trials: Sequence[tuple[str, Mapping]] = (),
     title: str = "C3 reproduction — sweep report",
 ) -> str:
-    """The full markdown report: sweeps, then searches, then perf trajectory."""
+    """The full markdown report: sweeps, searches, live trials, perf trajectory."""
     sections = [f"# {title}"]
     summary = []
     if sweeps:
         summary.append(f"{len(sweeps)} sweep{'s' if len(sweeps) != 1 else ''}")
     if searches:
         summary.append(f"{len(searches)} search{'es' if len(searches) != 1 else ''}")
+    if live_trials:
+        summary.append(f"{len(live_trials)} live trial{'s' if len(live_trials) != 1 else ''}")
     if bench_paths:
         summary.append(f"{len(bench_paths)} benchmark snapshot{'s' if len(bench_paths) != 1 else ''}")
     sections.append("Inputs: " + (", ".join(summary) if summary else "none") + ".")
@@ -222,6 +280,8 @@ def render_report(
         sections.append(render_sweep_section(label, sweep))
     for search in searches:
         sections.append(render_search_section(search))
+    if live_trials:
+        sections.append(render_live_section(live_trials))
     if bench_paths:
         sections.append(render_bench_section(bench_paths))
     return "\n\n".join(sections) + "\n"

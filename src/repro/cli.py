@@ -40,11 +40,18 @@ Sub-commands
     an ordinary cached sweep over a growing seed prefix, the final rung
     ranks the survivors at full replication, and ``--compare-dense``
     verifies the winner against the dense grid's argmin on the same seeds.
+``live``
+    Run one live asyncio cluster trial on localhost: N replica server
+    *processes* with real queues, driven by the identical strategy /
+    control / scenario specs as the simulator, writing a per-trial
+    artifact directory (payload + streaming-histogram JSON + per-server
+    load series) consumable by ``report --live``.
 ``report``
     Render saved sweep results (``sweep --json``), search results
-    (``search --json``) and ``benchmarks/BENCH_*.json`` perf snapshots
-    into one markdown (and optionally HTML) artifact — the reviewable
-    results page CI uploads for every PR.
+    (``search --json``), live-trial directories (``--live``) and
+    ``benchmarks/BENCH_*.json`` perf snapshots into one markdown (and
+    optionally HTML) artifact — the reviewable results page CI uploads
+    for every PR.
 """
 
 from __future__ import annotations
@@ -325,9 +332,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="also save the full search result as JSON (the `report` input shape)",
     )
 
+    live_parser = sub.add_parser(
+        "live",
+        help="run one live asyncio cluster trial (localhost server processes)",
+    )
+    live_parser.add_argument(
+        "--strategy", default="c3", metavar="SPEC",
+        help="strategy spec, same grammar as simulate (default: c3)",
+    )
+    live_parser.add_argument(
+        "--failure-detector", default=None, metavar="SPEC",
+        help="failure-detector spec (e.g. phi:threshold=8); live liveness is phi-driven",
+    )
+    live_parser.add_argument(
+        "--hedging", default=None, metavar="SPEC",
+        help="hedging spec (e.g. hedge:quantile=0.95,max_extra=1)",
+    )
+    live_parser.add_argument(
+        "--scenario", default="baseline", metavar="NAME",
+        help="live-supported scenario: baseline, slow-node, gc-storm, crash-recovery "
+             "(underscores accepted)",
+    )
+    live_parser.add_argument(
+        "--scenario-param", action="append", dest="scenario_params", metavar="KEY=VALUE",
+        help="override one scenario knob; repeatable",
+    )
+    live_parser.add_argument("--servers", type=int, default=3, help="server processes (default 3)")
+    live_parser.add_argument(
+        "--replication-factor", type=int, default=3, metavar="RF",
+        help="replica group size (default 3)",
+    )
+    live_parser.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+        help="total trial duration including warmup/cooldown (default 10)",
+    )
+    live_parser.add_argument(
+        "--warmup", type=float, default=1.0, metavar="SECONDS",
+        help="leading seconds trimmed from the latency capture (default 1)",
+    )
+    live_parser.add_argument(
+        "--cooldown", type=float, default=0.5, metavar="SECONDS",
+        help="trailing seconds trimmed from the latency capture (default 0.5)",
+    )
+    live_parser.add_argument(
+        "--rate", type=float, default=200.0, metavar="REQ_PER_S",
+        help="open-loop Poisson arrival rate (default 200 req/s)",
+    )
+    live_parser.add_argument(
+        "--service-time", type=float, default=4.0, metavar="MS",
+        help="mean exponential service time per server (default 4 ms)",
+    )
+    live_parser.add_argument("--seed", type=int, default=42, help="trial seed (default 42)")
+    live_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory (default: trials/<strategy>-<scenario>-seed<seed>)",
+    )
+
     report_parser = sub.add_parser(
         "report",
         help="render sweep/search JSON results and BENCH_*.json snapshots into one artifact",
+    )
+    report_parser.add_argument(
+        "--live", action="append", dest="live_paths", metavar="DIR",
+        help="live-trial artifact directory (`c3-repro live` output); repeatable",
     )
     report_parser.add_argument(
         "--sweep", action="append", dest="sweep_paths", metavar="PATH",
@@ -846,6 +913,57 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    # Imported lazily: the live package pulls in asyncio subprocess
+    # machinery no other subcommand needs.
+    from .live import LiveTrialConfig, run_trial
+
+    try:
+        config = LiveTrialConfig(
+            strategy=args.strategy,
+            failure_detector=args.failure_detector,
+            hedging=args.hedging,
+            scenario=args.scenario,
+            scenario_params=_parse_scenario_params(args.scenario_params),
+            num_servers=args.servers,
+            replication_factor=args.replication_factor,
+            duration_s=args.duration,
+            warmup_s=args.warmup,
+            cooldown_s=args.cooldown,
+            arrival_rate_per_s=args.rate,
+            base_service_ms=args.service_time,
+            seed=args.seed,
+        )
+    except (KeyError, ValueError) as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    if args.out is not None:
+        out_dir = Path(args.out)
+    else:
+        slug = config.strategy.split(":", 1)[0].lower()
+        out_dir = Path("trials") / f"{slug}-{config.scenario}-seed{config.seed}"
+    print(
+        f"live trial: {config.strategy} on {config.num_servers} servers, "
+        f"scenario {config.scenario}, {config.duration_s:.1f}s at "
+        f"{config.arrival_rate_per_s:.0f} req/s (seed {config.seed})"
+    )
+    result = run_trial(config, out_dir)
+    r = result.results
+    latency = r["latency_ms"]
+    print(
+        f"completed {r['completed']}/{r['issued']} "
+        f"({r['timeouts']} timeouts, {r['rejected']} rejected, "
+        f"{r['backpressure']} backpressured); {r['trimmed_count']} in the "
+        f"measured window ({r['throughput_rps']:.1f} req/s)"
+    )
+    print(
+        f"latency ms: mean {latency['mean']:.2f}  median {latency['median']:.2f}  "
+        f"p95 {latency['p95']:.2f}  p99 {latency['p99']:.2f}  p99.9 {latency['p999']:.2f}"
+    )
+    print(f"wrote: {result.out_dir}")
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     sweeps = []
     for path in args.sweep_paths or ():
@@ -871,8 +989,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
             return 2
     else:
         bench_paths = sorted(Path("benchmarks").glob("BENCH_*.json"))
+    live_trials = []
+    for path in args.live_paths or ():
+        try:
+            from .live.compare import load_trial
+
+            trial = load_trial(path)
+            live_trials.append((Path(path).name, trial.payload))
+        except (OSError, KeyError, ValueError) as error:
+            print(f"cannot load live trial {path}: {error}", file=sys.stderr)
+            return 2
     markdown = render_report(
-        sweeps=sweeps, searches=searches, bench_paths=bench_paths, title=args.title
+        sweeps=sweeps,
+        searches=searches,
+        bench_paths=bench_paths,
+        live_trials=live_trials,
+        title=args.title,
     )
     output = Path(args.output)
     output.parent.mkdir(parents=True, exist_ok=True)
@@ -910,6 +1042,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_scale(args)
     if args.command == "search":
         return _cmd_search(args)
+    if args.command == "live":
+        return _cmd_live(args)
     if args.command == "report":
         return _cmd_report(args)
     parser.print_help()

@@ -1,0 +1,58 @@
+"""Live asyncio cluster backend behind the simulator's spec surface.
+
+The same canonical :class:`~repro.strategies.StrategySpec` /
+:class:`~repro.controls.ControlSpec` / scenario strings that drive the
+discrete-event simulator drive real load here: replica servers are OS
+processes with genuine asyncio queues (:mod:`repro.live.server`), the load
+generator replays the simulator's open-loop Poisson workload through the
+strategies/controls registries over TCP (:mod:`repro.live.client`), and
+:mod:`repro.live.harness` orchestrates trials in the cluster-test-script
+shape — spawn N localhost server processes, warmup/cooldown trimming,
+streaming-histogram latency capture, per-trial artifact directories.
+
+Wire format lives in :mod:`repro.live.protocol`; the C3-vs-baseline p99
+comparison gate (used by the CI ``live-smoke`` job) in
+:mod:`repro.live.compare`.
+"""
+
+from typing import Any
+
+from .harness import (
+    LiveTrialConfig,
+    LiveTrialResult,
+    build_payload,
+    payload_digest,
+    run_trial,
+    write_artifacts,
+)
+from .protocol import MAX_FRAME_BYTES, encode_message, read_message, write_message
+
+# The comparison gate is imported lazily so `python -m repro.live.compare`
+# doesn't re-execute a module this package already loaded (runpy's
+# found-in-sys.modules RuntimeWarning).
+_COMPARE_EXPORTS = ("ComparisonResult", "compare_p99", "load_trial")
+
+
+def __getattr__(name: str) -> Any:
+    if name in _COMPARE_EXPORTS:
+        from . import compare
+
+        return getattr(compare, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "ComparisonResult",
+    "LiveTrialConfig",
+    "LiveTrialResult",
+    "MAX_FRAME_BYTES",
+    "build_payload",
+    "compare_p99",
+    "encode_message",
+    "load_trial",
+    "payload_digest",
+    "read_message",
+    "run_trial",
+    "write_artifacts",
+    "write_message",
+]

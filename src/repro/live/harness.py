@@ -1,0 +1,479 @@
+"""Trial orchestration for the live backend.
+
+:func:`run_trial` runs one live trial in the cluster-test-script shape:
+spawn ``num_servers`` replica server processes on localhost (port 0,
+discovered from their ``PORT <n>`` stdout line), drive open-loop load
+through :class:`~repro.live.client.LiveLoadClient` for ``duration_s``
+seconds while a scenario driver injects perturbations over the control
+channel, then trim the first ``warmup_s`` and last ``cooldown_s`` of
+completions and record what remains into the streaming
+:class:`~repro.analysis.histogram.LatencyHistogram`.
+
+Scenario strings are the *simulator's* scenario names: the harness
+resolves knobs through the same registry
+(:func:`repro.scenarios.get_scenario` + ``resolve_params``), so a live
+``slow-node`` trial and a simulated one share defaults and validation.
+Underscores are accepted and normalized (``slow_node`` == ``slow-node``).
+The live backend supports ``baseline``, ``slow-node``, ``gc-storm``, and
+``crash-recovery``; the rest describe simulator-only mechanisms (network
+jitter models, demand skew) and are rejected with a clear error.
+
+Each trial writes a self-describing artifact directory::
+
+    <out_dir>/payload.json      config + results + digest + provenance
+    <out_dir>/histogram.json    LatencyHistogram.to_dict() of trimmed latencies
+    <out_dir>/server_load.json  per-server counters and bucketed load series
+
+``payload.json``'s digest covers **config + results only** — wall-clock
+and host provenance live outside the digest domain (mirroring
+``SweepResult.digest()``), so re-serializing the same trial at a
+different time on a different host compares equal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import socket
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..analysis.histogram import LatencyHistogram
+from ..controls.spec import ControlSpec
+from ..runner.spec import content_hash
+from ..scenarios import get_scenario
+from ..strategies.spec import StrategySpec
+from .client import LiveLoadClient
+from .protocol import read_message, write_message
+
+__all__ = [
+    "LIVE_SCENARIOS",
+    "LiveTrialConfig",
+    "LiveTrialResult",
+    "build_payload",
+    "payload_digest",
+    "run_trial",
+    "scenario_schedule",
+    "write_artifacts",
+]
+
+#: Scenarios the live control channel can express.
+LIVE_SCENARIOS = ("baseline", "slow-node", "gc-storm", "crash-recovery")
+
+#: Version tag written into every payload.
+PAYLOAD_SCHEMA = "live-trial-v1"
+
+
+@dataclass(frozen=True)
+class LiveTrialConfig:
+    """One live trial, canonicalized exactly like ``SimulationConfig``."""
+
+    strategy: str = "c3"
+    failure_detector: str | None = None
+    hedging: str | None = None
+    scenario: str = "baseline"
+    scenario_params: Mapping[str, Any] = field(default_factory=dict)
+    num_servers: int = 3
+    replication_factor: int = 3
+    duration_s: float = 10.0
+    warmup_s: float = 1.0
+    cooldown_s: float = 0.5
+    arrival_rate_per_s: float = 200.0
+    base_service_ms: float = 4.0
+    concurrency: int = 4
+    queue_capacity: int = 10_000
+    read_fraction: float = 1.0
+    request_timeout_ms: float = 2_000.0
+    seed: int = 42
+    histogram_relative_error: float = 0.01
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "strategy", StrategySpec.parse(self.strategy).canonical())
+        if self.failure_detector is not None:
+            object.__setattr__(
+                self,
+                "failure_detector",
+                ControlSpec.parse(self.failure_detector, kind="detector").canonical(),
+            )
+        if self.hedging is not None:
+            object.__setattr__(
+                self, "hedging", ControlSpec.parse(self.hedging, kind="hedge").canonical()
+            )
+        name = self.scenario.replace("_", "-")
+        if name not in LIVE_SCENARIOS:
+            raise ValueError(
+                f"scenario {self.scenario!r} is not supported by the live backend; "
+                f"choose one of {', '.join(LIVE_SCENARIOS)}"
+            )
+        params = get_scenario(name).resolve_params(dict(self.scenario_params))
+        object.__setattr__(self, "scenario", name)
+        object.__setattr__(self, "scenario_params", params)
+        if self.num_servers < 1:
+            raise ValueError(f"num_servers must be >= 1, got {self.num_servers}")
+        if not 1 <= self.replication_factor <= self.num_servers:
+            raise ValueError(
+                f"replication_factor must be in [1, {self.num_servers}], "
+                f"got {self.replication_factor}"
+            )
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.warmup_s < 0 or self.cooldown_s < 0:
+            raise ValueError("warmup_s and cooldown_s must be non-negative")
+        if self.warmup_s + self.cooldown_s >= self.duration_s:
+            raise ValueError(
+                f"warmup_s + cooldown_s ({self.warmup_s + self.cooldown_s}) must leave a "
+                f"measurement window inside duration_s ({self.duration_s})"
+            )
+
+    def config_payload(self) -> dict[str, Any]:
+        """Every field, JSON-serializable, canonical strings throughout."""
+        return {
+            "schema": PAYLOAD_SCHEMA,
+            "strategy": self.strategy,
+            "failure_detector": self.failure_detector,
+            "hedging": self.hedging,
+            "scenario": self.scenario,
+            "scenario_params": dict(self.scenario_params),
+            "num_servers": self.num_servers,
+            "replication_factor": self.replication_factor,
+            "duration_s": self.duration_s,
+            "warmup_s": self.warmup_s,
+            "cooldown_s": self.cooldown_s,
+            "arrival_rate_per_s": self.arrival_rate_per_s,
+            "base_service_ms": self.base_service_ms,
+            "concurrency": self.concurrency,
+            "queue_capacity": self.queue_capacity,
+            "read_fraction": self.read_fraction,
+            "request_timeout_ms": self.request_timeout_ms,
+            "seed": self.seed,
+            "histogram_relative_error": self.histogram_relative_error,
+        }
+
+
+@dataclass
+class LiveTrialResult:
+    """Everything one trial produced, as written to its artifact dir."""
+
+    config: LiveTrialConfig
+    results: dict[str, Any]
+    histogram: LatencyHistogram
+    server_stats: list[dict[str, Any]]
+    out_dir: Path
+    payload: dict[str, Any]
+
+
+def payload_digest(payload: Mapping[str, Any]) -> str:
+    """sha256 over the payload's config + results — provenance excluded.
+
+    Mirrors ``SweepResult.digest()``: wall-clock timestamps, hostnames,
+    and interpreter versions are recorded for humans but never hashed, so
+    two serializations of the same trial compare equal regardless of when
+    or where they were written.
+    """
+    return content_hash({"config": payload["config"], "results": payload["results"]})
+
+
+def build_payload(
+    config_payload: Mapping[str, Any],
+    results: Mapping[str, Any],
+    provenance: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble a trial payload: digest over config+results, then provenance.
+
+    ``provenance`` defaults to this process's wall clock / host /
+    interpreter; pass an explicit mapping to reproduce a recorded one.
+    """
+    payload: dict[str, Any] = {"config": dict(config_payload), "results": dict(results)}
+    payload["digest"] = payload_digest(payload)
+    if provenance is None:
+        provenance = {
+            "recorded_at_unix": time.time(),
+            "host": socket.gethostname(),
+            "python": sys.version.split()[0],
+        }
+    payload["provenance"] = dict(provenance)
+    return payload
+
+
+def write_artifacts(
+    out_dir: "str | Path",
+    payload: Mapping[str, Any],
+    histogram: LatencyHistogram,
+    server_stats: "list[dict[str, Any]] | None" = None,
+) -> Path:
+    """Write the per-trial artifact directory and return its path."""
+    path = Path(out_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    (path / "payload.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    (path / "histogram.json").write_text(
+        json.dumps(histogram.to_dict(), sort_keys=True) + "\n", encoding="utf-8"
+    )
+    (path / "server_load.json").write_text(
+        json.dumps({"servers": server_stats or []}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+# ------------------------------------------------------------------ scenario
+def scenario_schedule(config: LiveTrialConfig) -> list[tuple[float, int, dict[str, Any]]]:
+    """The deterministic control-op schedule: ``(at_ms, server_id, op)``.
+
+    Covers ``slow-node`` and ``crash-recovery`` (whose sim components are
+    time-table driven); ``gc-storm`` is stochastic and handled by
+    :func:`_gc_storm_driver`.  Times are relative to trial start.
+    """
+    params = config.scenario_params
+    ops: list[tuple[float, int, dict[str, Any]]] = []
+    if config.scenario == "slow-node":
+        target = int(params["target"]) % config.num_servers
+        ops.append((float(params["start_ms"]), target, {"op": "slow", "factor": float(params["factor"])}))
+        if params["end_ms"] is not None:
+            ops.append((float(params["end_ms"]), target, {"op": "slow", "factor": 1.0}))
+    elif config.scenario == "crash-recovery":
+        targets = params["targets"]
+        if targets is None:
+            targets = [0]
+        first_at = float(params["first_at_ms"])
+        down_ms = float(params["down_ms"])
+        stagger = float(params["stagger_ms"])
+        period = float(params["period_ms"])
+        for repeat in range(int(params["repeats"])):
+            for index, raw in enumerate(targets):
+                sid = int(raw) % config.num_servers
+                crash_at = first_at + index * stagger + repeat * period
+                ops.append((crash_at, sid, {"op": "crash"}))
+                ops.append((crash_at + down_ms, sid, {"op": "restore"}))
+    ops.sort(key=lambda item: item[0])
+    return ops
+
+
+async def _gc_storm_driver(
+    config: LiveTrialConfig,
+    send_control,
+    rng: np.random.Generator,
+) -> None:
+    """Poisson-timed stop-the-world pauses on random servers.
+
+    The sim's gc-storm inflates service times by ``slowdown_factor``
+    during the pause window; over a real socket a stop-the-world stall is
+    the honest analogue — the queue builds behind the paused slots either
+    way — so the live driver maps each storm event to a ``pause`` op for
+    the drawn duration (``slowdown_factor`` is subsumed by the full
+    stall; the knob still validates through the shared registry).
+    """
+    params = config.scenario_params
+    mean_gap = float(params["mean_interarrival_ms"])
+    mean_duration = float(params["mean_duration_ms"])
+    while True:
+        await asyncio.sleep(float(rng.exponential(mean_gap)) / 1000.0)
+        sid = int(rng.integers(config.num_servers))
+        duration = float(rng.exponential(mean_duration))
+        await send_control(sid, {"op": "pause", "duration_ms": duration})
+
+
+async def _schedule_driver(config: LiveTrialConfig, send_control, now_fn, t0_ms: float) -> None:
+    """Replay :func:`scenario_schedule` against the control channel."""
+    for at_ms, sid, op in scenario_schedule(config):
+        delay_ms = (t0_ms + at_ms) - now_fn()
+        if delay_ms > 0:
+            await asyncio.sleep(delay_ms / 1000.0)
+        await send_control(sid, op)
+
+
+# ------------------------------------------------------------------- servers
+def _src_root() -> Path:
+    """The ``src/`` directory this package was imported from."""
+    return Path(__file__).resolve().parents[2]
+
+
+async def _spawn_server(config: LiveTrialConfig, sid: int) -> tuple[asyncio.subprocess.Process, int]:
+    env = dict(os.environ)
+    src = str(_src_root())
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    argv = [
+        sys.executable,
+        "-m",
+        "repro.live.server",
+        "--server-id",
+        str(sid),
+        "--port",
+        "0",
+        "--base-service-ms",
+        str(config.base_service_ms),
+        "--concurrency",
+        str(config.concurrency),
+        "--queue-capacity",
+        str(config.queue_capacity),
+        "--seed",
+        str(config.seed * 10_007 + sid + 1),
+    ]
+    proc = await asyncio.create_subprocess_exec(
+        *argv, env=env, stdout=asyncio.subprocess.PIPE, stderr=asyncio.subprocess.PIPE
+    )
+    assert proc.stdout is not None
+    try:
+        line = await asyncio.wait_for(proc.stdout.readline(), timeout=15.0)
+    except asyncio.TimeoutError:
+        proc.kill()
+        raise RuntimeError(f"server {sid} did not report a port within 15s")
+    text = line.decode("utf-8", "replace").strip()
+    if not text.startswith("PORT "):
+        stderr = b""
+        if proc.stderr is not None:
+            try:
+                stderr = await asyncio.wait_for(proc.stderr.read(4096), timeout=1.0)
+            except asyncio.TimeoutError:
+                pass
+        proc.kill()
+        raise RuntimeError(
+            f"server {sid} failed to start: stdout={text!r} stderr={stderr.decode('utf-8', 'replace')!r}"
+        )
+    return proc, int(text.split()[1])
+
+
+# --------------------------------------------------------------------- trial
+async def _run_trial_async(config: LiveTrialConfig, out_dir: Path) -> LiveTrialResult:
+    procs: list[asyncio.subprocess.Process] = []
+    ports: list[int] = []
+    control: dict[int, tuple[asyncio.StreamReader, asyncio.StreamWriter]] = {}
+    scenario_task: asyncio.Task | None = None
+    started = time.time()
+    try:
+        for sid in range(config.num_servers):
+            proc, port = await _spawn_server(config, sid)
+            procs.append(proc)
+            ports.append(port)
+        for sid, port in enumerate(ports):
+            control[sid] = await asyncio.open_connection("127.0.0.1", port)
+
+        async def send_control(sid: int, op: dict[str, Any]) -> dict:
+            reader, writer = control[sid]
+            write_message(writer, {"t": "ctl", **op})
+            await writer.drain()
+            ack = await asyncio.wait_for(read_message(reader), timeout=10.0)
+            if ack is None:
+                raise RuntimeError(f"server {sid} closed its control connection")
+            return ack
+
+        completions: list[tuple[float, float]] = []
+        client = LiveLoadClient(
+            [("127.0.0.1", port) for port in ports],
+            strategy=config.strategy,
+            failure_detector=config.failure_detector,
+            hedging=config.hedging,
+            replication_factor=config.replication_factor,
+            arrival_rate_per_s=config.arrival_rate_per_s,
+            read_fraction=config.read_fraction,
+            request_timeout_ms=config.request_timeout_ms,
+            seed=config.seed,
+            on_complete=lambda at_ms, latency_ms: completions.append((at_ms, latency_ms)),
+        )
+        await client.connect()
+        # The trial timeline runs on the client's clock (ms since client
+        # construction) so completion timestamps and the trim window agree.
+        t0_ms = client.now_ms()
+        if config.scenario == "gc-storm":
+            storm_rng = np.random.default_rng(config.seed + 99_991)
+            scenario_task = asyncio.create_task(
+                _gc_storm_driver(config, send_control, storm_rng)
+            )
+        elif config.scenario != "baseline":
+            scenario_task = asyncio.create_task(
+                _schedule_driver(config, send_control, client.now_ms, t0_ms)
+            )
+        try:
+            load = await client.run(config.duration_s)
+        finally:
+            if scenario_task is not None:
+                scenario_task.cancel()
+                await asyncio.gather(scenario_task, return_exceptions=True)
+            await client.close()
+
+        server_stats = []
+        for sid in range(config.num_servers):
+            ack = await send_control(sid, {"op": "stats"})
+            server_stats.append(ack.get("stats", {}))
+        for sid in range(config.num_servers):
+            await send_control(sid, {"op": "shutdown"})
+    finally:
+        for reader, writer in control.values():
+            if not writer.is_closing():
+                writer.close()
+        for proc in procs:
+            if proc.returncode is None:
+                try:
+                    await asyncio.wait_for(proc.wait(), timeout=5.0)
+                except asyncio.TimeoutError:
+                    proc.kill()
+                    await proc.wait()
+
+    # ---------------------------------------------------- trim + histogram
+    window_start = t0_ms + config.warmup_s * 1000.0
+    window_end = t0_ms + (config.duration_s - config.cooldown_s) * 1000.0
+    histogram = LatencyHistogram(relative_error=config.histogram_relative_error)
+    trimmed = 0
+    for completed_at, latency in completions:
+        if window_start <= completed_at <= window_end:
+            histogram.record(latency)
+            trimmed += 1
+    window_s = (window_end - window_start) / 1000.0
+    summary = histogram.summarize()
+    results: dict[str, Any] = {
+        "issued": load.issued,
+        "completed": load.completed,
+        "timeouts": load.timeouts,
+        "rejected": load.rejected,
+        "backpressure": load.backpressure,
+        "parked": load.parked,
+        "hedges_fired": load.hedges_fired,
+        "hedges_won": load.hedges_won,
+        "trimmed_count": trimmed,
+        "measured_window_s": window_s,
+        "throughput_rps": trimmed / window_s if window_s > 0 else 0.0,
+        "latency_ms": {
+            "count": summary.count,
+            "mean": summary.mean,
+            "median": summary.median,
+            "p95": summary.p95,
+            "p99": summary.p99,
+            "p999": summary.p999,
+            "min": summary.minimum if summary.count else 0.0,
+            "max": summary.maximum if summary.count else 0.0,
+        },
+        "sent_per_server": {str(k): v for k, v in sorted(load.sent_per_server.items())},
+        "histogram_digest": histogram.digest(),
+    }
+    payload = build_payload(
+        config.config_payload(),
+        results,
+        provenance={
+            "recorded_at_unix": started,
+            "wall_time_s": time.time() - started,
+            "host": socket.gethostname(),
+            "python": sys.version.split()[0],
+        },
+    )
+    write_artifacts(out_dir, payload, histogram, server_stats)
+    return LiveTrialResult(
+        config=config,
+        results=results,
+        histogram=histogram,
+        server_stats=server_stats,
+        out_dir=out_dir,
+        payload=payload,
+    )
+
+
+def run_trial(config: LiveTrialConfig, out_dir: "str | Path") -> LiveTrialResult:
+    """Run one live trial end-to-end and write its artifact directory."""
+    return asyncio.run(_run_trial_async(config, Path(out_dir)))

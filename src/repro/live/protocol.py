@@ -1,0 +1,95 @@
+"""Length-prefixed JSON wire format for the live cluster backend.
+
+Every frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON — one JSON object per frame.  Requests, responses,
+and control messages share one connection and are distinguished by the
+``"t"`` key:
+
+``{"t": "req", "id": <int>, "kind": "read"|"write"}``
+    A client request.  The server services it through its bounded queue
+    and replies with a ``res`` frame carrying the same ``id``.
+
+``{"t": "res", "id": <int>, "server_id": <int>, "queue_size": <int>,
+"service_time_ms": <float>, "rejected": <bool>}``
+    The response, with :class:`~repro.core.feedback.ServerFeedback`
+    piggybacked exactly as the simulator's servers report it:
+    ``queue_size`` is the pending count (queued + in service) at response
+    time and ``service_time_ms`` the EWMA-smoothed service time.
+    ``rejected`` is true when the bounded queue was full and the request
+    was never serviced (the feedback fields still describe the server).
+
+``{"t": "ctl", "op": <str>, ...}`` / ``{"t": "ack", "op": <str>, ...}``
+    Scenario injection and lifecycle: ``slow`` (``factor``), ``pause``
+    (``duration_ms``), ``crash``, ``restore``, ``stats``, ``shutdown``.
+    The server acknowledges every control frame; ``stats`` acks carry the
+    server's counters and per-bucket load series.
+
+The frame length is capped (:data:`MAX_FRAME_BYTES`) so a corrupt or
+hostile length prefix fails fast instead of buffering unbounded data.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "encode_message",
+    "read_message",
+    "write_message",
+]
+
+#: Upper bound on a single frame body.  Stats acks carry load series for
+#: one server, which stays far below this even for very long trials.
+MAX_FRAME_BYTES = 1 << 20
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame: oversized, truncated, or not a JSON object."""
+
+
+def encode_message(message: dict) -> bytes:
+    """One wire frame: 4-byte big-endian length + UTF-8 JSON body."""
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame body of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def write_message(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Queue one frame on ``writer`` (no flush — callers drain in bulk).
+
+    StreamWriter.write is not a coroutine, so frames from concurrent
+    tasks never interleave mid-frame as long as each frame is a single
+    ``write`` call — which :func:`encode_message` guarantees.
+    """
+    writer.write(encode_message(message))
+
+
+async def read_message(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame (truncated length prefix)") from error
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as error:
+        raise ProtocolError("connection closed mid-frame (truncated body)") from error
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame body is not valid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame body must be a JSON object, got {type(message).__name__}")
+    return message

@@ -26,7 +26,6 @@ Two hot-path details matter at scale:
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Callable
 
 __all__ = ["BatchedEventLoop", "Event", "EventLoop", "SimulationError"]
@@ -88,7 +87,11 @@ class EventLoop:
         self._now = float(start_time)
         # Heap entries are (time, seq, event): see the module docstring.
         self._heap: list[tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        # Next FIFO sequence number.  A plain int (incremented inline) rather
+        # than an itertools.count object: the batched kernel shares this
+        # counter by reading/writing the attribute directly, and the inline
+        # increment shaves the C-call overhead off every scheduled event.
+        self._seq = 0
         self._processed = 0
         self._running = False
         self._dead = 0  # cancelled events still sitting in the heap
@@ -127,7 +130,8 @@ class EventLoop:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        seq = next(self._seq)
+        seq = self._seq
+        self._seq = seq + 1
         event = Event(float(time), seq, callback, args, kwargs)
         event._loop = self
         heapq.heappush(self._heap, (event.time, seq, event))
@@ -230,7 +234,7 @@ class EventLoop:
         self._heap.clear()
         self._dead = 0
         self._processed = 0
-        self._seq = itertools.count()
+        self._seq = 0
 
 
 class BatchedEventLoop(EventLoop):

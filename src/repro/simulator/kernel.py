@@ -151,7 +151,11 @@ class BatchedKernel:
         # duck-types the detector/metrics objects; those seams are typed Any
         # — the run-time invariants are pinned by the equivalence suites.
         self.heap: list[Any] = sim.loop._heap
-        self.seq = sim.loop._seq
+        # Sequence numbers come from the loop's plain-int counter
+        # (``loop._seq``), read/incremented inline at every draw site so the
+        # kernel and any mid-run ``loop.schedule`` calls (fallback paths,
+        # scenario components) share one globally unique, issuance-ordered
+        # stream — exactly as when both held the same itertools.count object.
         self.metrics: Any = sim.metrics
         self.tracker = sim.down_tracker
         self.det: Any = sim.failure_detector
@@ -380,7 +384,8 @@ class BatchedKernel:
             else:
                 gap = self.blocks.next_gap() * (1.0 / self.proc.rate_per_ms)
             self._arr_t = loop._now + gap
-            self._arr_seq = next(self.seq)
+            self._arr_seq = loop._seq
+            loop._seq += 1
         else:
             self._arr_t = _NEVER
             self._arr_seq = 0
@@ -404,7 +409,10 @@ class BatchedKernel:
         return self.metrics.result(duration_ms=duration, strategy=cfg.strategy, extra=extra)
 
     def _push(self, time: float, code: int, a, b, c) -> None:
-        heappush(self.heap, (time, next(self.seq), code, a, b, c))
+        loop = self.loop
+        seq = loop._seq
+        loop._seq = seq + 1
+        heappush(self.heap, (time, seq, code, a, b, c))
 
     def _run_slice(self, until: float) -> None:
         """Process every heap entry with ``time <= until``.
@@ -422,7 +430,6 @@ class BatchedKernel:
         heap = self.heap
         pop = heappop
         push = heappush
-        nxt = self.seq.__next__
         servers = self.servers
         created = self._created
         client_of = self._client
@@ -692,7 +699,8 @@ class BatchedKernel:
                                     else:
                                         gap = blk_gap() * inv_rate
                                     arr_t = t + gap
-                                    arr_seq = nxt()
+                                    arr_seq = loop._seq
+                                    loop._seq = arr_seq + 1
                                 else:
                                     arr_t = _NEVER
                                 continue
@@ -738,10 +746,12 @@ class BatchedKernel:
                     delay = const_delay
                     if delay is None:
                         delay = network.one_way_delay(cid, sid)
+                    seq_v = loop._seq
+                    loop._seq = seq_v + 1
                     if fifo_on:
-                        fe_app((t + delay, nxt(), _ENQUEUE, rid, sid, 0.0))
+                        fe_app((t + delay, seq_v, _ENQUEUE, rid, sid, 0.0))
                     else:
-                        push(heap, (t + delay, nxt(), _ENQUEUE, rid, sid, 0.0))
+                        push(heap, (t + delay, seq_v, _ENQUEUE, rid, sid, 0.0))
                     if kind == _READ and rrp > 0.0:
                         if hedged:
                             coin = crngs[cid].random()
@@ -780,10 +790,12 @@ class BatchedKernel:
                                 delay = const_delay
                                 if delay is None:
                                     delay = network.one_way_delay(cid, s)
+                                seq_v = loop._seq
+                                loop._seq = seq_v + 1
                                 if fifo_on:
-                                    fe_app((t + delay, nxt(), _ENQUEUE, dup, s, 0.0))
+                                    fe_app((t + delay, seq_v, _ENQUEUE, dup, s, 0.0))
                                 else:
-                                    push(heap, (t + delay, nxt(), _ENQUEUE, dup, s, 0.0))
+                                    push(heap, (t + delay, seq_v, _ENQUEUE, dup, s, 0.0))
                                 rr_cnt[cid] += 1
                     if hedged:
                         self._maybe_hedge(rid, cid, t)
@@ -793,7 +805,8 @@ class BatchedKernel:
                     else:
                         gap = blk_gap() * inv_rate
                     arr_t = t + gap
-                    arr_seq = nxt()
+                    arr_seq = loop._seq
+                    loop._seq = arr_seq + 1
                 else:
                     arr_t = _NEVER
                 continue
@@ -985,17 +998,21 @@ class BatchedKernel:
                                 i = 0
                             st = float(mean * block[i])
                             i += 1
-                        push(heap, (t + st, nxt(), _FINISH, next_rid, sid, st))
+                        seq_v = loop._seq
+                        loop._seq = seq_v + 1
+                        push(heap, (t + st, seq_v, _FINISH, next_rid, sid, st))
                     server._in_service = ins
                     server._svc_i = i
                 cid = client_of[rid]
                 delay = const_delay
                 if delay is None:
                     delay = network.one_way_delay(sid, cid)
+                seq_v = loop._seq
+                loop._seq = seq_v + 1
                 if fifo_on:
-                    fr_app((t + delay, nxt(), _RESPONSE, rid, qsize, stime))
+                    fr_app((t + delay, seq_v, _RESPONSE, rid, qsize, stime))
                 else:
-                    push(heap, (t + delay, nxt(), _RESPONSE, rid, qsize, stime))
+                    push(heap, (t + delay, seq_v, _RESPONSE, rid, qsize, stime))
             elif code == _ENQUEUE:
                 rid = entry[3]
                 sid = entry[4]
@@ -1030,7 +1047,9 @@ class BatchedKernel:
                             i = 0
                         st = float(mean * block[i])
                         server._svc_i = i + 1
-                    push(heap, (t + st, nxt(), _FINISH, rid, sid, st))
+                    seq_v = loop._seq
+                    loop._seq = seq_v + 1
+                    push(heap, (t + st, seq_v, _FINISH, rid, sid, st))
                 else:
                     queue.append(rid)
             elif code == _HEDGE:
@@ -1147,7 +1166,10 @@ class BatchedKernel:
             if type(network) is ConstantLatency
             else network.one_way_delay(cid, sid)
         )
-        entry = (t + delay, next(self.seq), _ENQUEUE, rid, sid, 0.0)
+        loop = self.loop
+        seq = loop._seq
+        loop._seq = seq + 1
+        entry = (t + delay, seq, _ENQUEUE, rid, sid, 0.0)
         if self._fifo_on:
             self._fifo_enq.append(entry)
         else:
@@ -1217,7 +1239,9 @@ class BatchedKernel:
         threshold = policy.threshold_ms()
         if threshold is None:
             return
-        seq = next(self.seq)
+        loop = self.loop
+        seq = loop._seq
+        loop._seq = seq + 1
         heappush(self.heap, (t + threshold, seq, _HEDGE, cid, rid, 0.0))
         self._hedge_ops[cid][rid] = [False, 0, {sid}, seq]
 
@@ -1258,7 +1282,9 @@ class BatchedKernel:
         if op[_OP_FIRED] < policy.max_extra:
             threshold = policy.threshold_ms()
             if threshold is not None:
-                seq = next(self.seq)
+                loop = self.loop
+                seq = loop._seq
+                loop._seq = seq + 1
                 heappush(self.heap, (t + threshold, seq, _HEDGE, cid, rid, 0.0))
                 op[_OP_ARMED] = seq
 
@@ -1299,9 +1325,9 @@ class BatchedKernel:
         queue = server._queue
         if not queue or not server._up or server._in_service >= server.concurrency:
             return
-        t = self.loop._now
+        loop = self.loop
+        t = loop._now
         heap = self.heap
-        seq = self.seq
         sid = server.server_id
         rng = server.rng
         size_factor = self.size_factor
@@ -1320,7 +1346,9 @@ class BatchedKernel:
                     i = 0
                 service_time = float(mean * block[i])
                 i += 1
-            heappush(heap, (t + service_time, next(seq), _FINISH, rid, sid, service_time))
+            seq = loop._seq
+            loop._seq = seq + 1
+            heappush(heap, (t + service_time, seq, _FINISH, rid, sid, service_time))
         server._svc_i = i
 
     def _record_latency(self, rid: int, latency: float) -> None:

@@ -1,8 +1,17 @@
 """Unit tests for the token ring."""
 
+import hashlib
+import json
+
 import pytest
 
-from repro.cluster.ring import TokenRing
+from repro.cluster.ring import TokenRing, _hash_key
+
+#: sha256 over the sorted-JSON placement map of keys 0..255 on a 5-node
+#: RF=3 ring.  Pins the *entire* placement function — token spacing, key
+#: hashing, bisect + wraparound — so any change to data placement is a
+#: deliberate, reviewed digest bump.
+_GOLDEN_PLACEMENT_DIGEST = "0c774539c4d1e8e1025579479e1115e5c7e753f759035d72dca642151b1ed235"
 
 
 class TestTokenRing:
@@ -70,3 +79,28 @@ class TestTokenRing:
     def test_rf_one(self):
         ring = TokenRing(["a", "b", "c"], replication_factor=1)
         assert all(len(ring.replicas_for(k)) == 1 for k in range(20))
+
+    def test_wraparound_placement(self):
+        """Keys hashing past the last token wrap to the ring's first node,
+        and groups anchored at the last node wrap through index 0."""
+        ring = TokenRing(list(range(4)), replication_factor=3)
+        tokens = ring._tokens
+        past_last = next(k for k in range(10_000) if _hash_key(k) > tokens[-1])
+        assert ring.primary_for(past_last) == ring.nodes[0]
+        assert ring.replicas_for(past_last) == (0, 1, 2)
+        in_last_segment = next(
+            k for k in range(10_000) if tokens[-2] < _hash_key(k) <= tokens[-1]
+        )
+        assert ring.primary_for(in_last_segment) == ring.nodes[-1]
+        # The group clockwise from the last node crosses the ring origin.
+        assert ring.replicas_for(in_last_segment) == (3, 0, 1)
+
+    def test_replication_factor_exceeding_nodes_raises(self):
+        with pytest.raises(ValueError, match=r"replication_factor"):
+            TokenRing(["a", "b", "c"], replication_factor=4)
+
+    def test_golden_placement_digest(self):
+        ring = TokenRing([f"node{i}" for i in range(5)], replication_factor=3)
+        placements = {str(key): list(ring.replicas_for(key)) for key in range(256)}
+        digest = hashlib.sha256(json.dumps(placements, sort_keys=True).encode()).hexdigest()
+        assert digest == _GOLDEN_PLACEMENT_DIGEST

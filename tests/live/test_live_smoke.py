@@ -1,0 +1,191 @@
+"""End-to-end smoke tests for the live backend.
+
+Kept short (sub-second client runs, one ~1.5 s subprocess trial) so they
+ride in tier-1; the latency numbers themselves are never asserted — only
+structural properties that localhost scheduling noise can't flip.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.live.client import LiveLoadClient
+from repro.live.compare import load_trial
+from repro.live.harness import LiveTrialConfig, payload_digest, run_trial
+from repro.live.protocol import read_message, write_message
+from repro.live.server import ReplicaServer
+
+
+async def _request(reader, writer, op_id, timeout=5.0):
+    write_message(writer, {"t": "req", "id": op_id, "kind": "read"})
+    await writer.drain()
+    return await asyncio.wait_for(read_message(reader), timeout)
+
+
+async def _control(reader, writer, op, timeout=5.0, **kwargs):
+    write_message(writer, {"t": "ctl", "op": op, **kwargs})
+    await writer.drain()
+    return await asyncio.wait_for(read_message(reader), timeout)
+
+
+class TestReplicaServer:
+    def test_serves_request_with_feedback(self):
+        async def scenario():
+            server = ReplicaServer(3, base_service_ms=0.5, deterministic=True, seed=1)
+            port = await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            response = await _request(reader, writer, 7)
+            assert response["t"] == "res"
+            assert response["id"] == 7
+            assert response["server_id"] == 3
+            assert response["rejected"] is False
+            assert response["service_time_ms"] > 0
+            assert response["queue_size"] >= 0
+            ack = await _control(reader, writer, "stats")
+            assert ack["stats"]["served"] == 1
+            assert ack["stats"]["accepted"] == 1
+            await _control(reader, writer, "shutdown")
+            writer.close()
+            await server.serve_until_shutdown()
+
+        asyncio.run(scenario())
+
+    def test_full_queue_rejects_with_feedback(self):
+        async def scenario():
+            server = ReplicaServer(
+                0,
+                base_service_ms=200.0,
+                concurrency=1,
+                queue_capacity=1,
+                deterministic=True,
+            )
+            port = await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            for op_id in range(3):
+                write_message(writer, {"t": "req", "id": op_id, "kind": "read"})
+            await writer.drain()
+            # 200 ms deterministic service, one slot, one queue place: at
+            # least one (possibly two) of the three is turned away
+            # immediately.  Read frames until the stats ack arrives.
+            write_message(writer, {"t": "ctl", "op": "stats"})
+            await writer.drain()
+            rejections = []
+            while True:
+                frame = await asyncio.wait_for(read_message(reader), 5.0)
+                if frame["t"] == "ack":
+                    break
+                rejections.append(frame)
+            assert rejections and all(r["rejected"] for r in rejections)
+            assert all(r["queue_size"] >= 1 for r in rejections)
+            assert frame["stats"]["rejected"] == len(rejections)
+            await _control(reader, writer, "shutdown")
+            writer.close()
+            await server.serve_until_shutdown()
+
+        asyncio.run(scenario())
+
+    def test_crash_drops_requests_until_restore(self):
+        async def scenario():
+            server = ReplicaServer(0, base_service_ms=0.5, deterministic=True)
+            port = await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            assert (await _control(reader, writer, "crash"))["op"] == "crash"
+            # Sent while down: silently dropped, no response frame.
+            write_message(writer, {"t": "req", "id": 1, "kind": "read"})
+            await writer.drain()
+            assert (await _control(reader, writer, "restore"))["op"] == "restore"
+            response = await _request(reader, writer, 2)
+            assert response["id"] == 2 and response["rejected"] is False
+            ack = await _control(reader, writer, "stats")
+            assert ack["stats"]["enqueued_while_down"] == 1
+            assert ack["stats"]["served"] == 1
+            await _control(reader, writer, "shutdown")
+            writer.close()
+            await server.serve_until_shutdown()
+
+        asyncio.run(scenario())
+
+    def test_slow_factor_inflates_service_times(self):
+        async def scenario():
+            server = ReplicaServer(0, base_service_ms=1.0, deterministic=True)
+            port = await server.start()
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await _control(reader, writer, "slow", factor=50.0)
+            before = asyncio.get_running_loop().time()
+            await _request(reader, writer, 1)
+            elapsed_ms = (asyncio.get_running_loop().time() - before) * 1000.0
+            assert elapsed_ms >= 50.0  # 1 ms base x 50, deterministic
+            await _control(reader, writer, "shutdown")
+            writer.close()
+            await server.serve_until_shutdown()
+
+        asyncio.run(scenario())
+
+
+class TestLiveLoadClient:
+    @pytest.mark.parametrize("strategy", ["c3", "lor"])
+    def test_short_run_completes_requests(self, strategy):
+        async def scenario():
+            servers, ports = [], []
+            for sid in range(2):
+                server = ReplicaServer(
+                    sid, base_service_ms=1.0, deterministic=True, seed=sid
+                )
+                ports.append(await server.start())
+                servers.append(server)
+            client = LiveLoadClient(
+                [("127.0.0.1", port) for port in ports],
+                strategy=strategy,
+                replication_factor=2,
+                arrival_rate_per_s=150.0,
+                seed=3,
+            )
+            await client.connect()
+            try:
+                result = await client.run(0.6)
+            finally:
+                await client.close()
+                for server in servers:
+                    server._shutdown.set()
+                    await server.serve_until_shutdown()
+            return result
+
+        result = asyncio.run(scenario())
+        assert result.completed > 0
+        assert result.issued >= result.completed
+        assert result.timeouts == 0
+        assert sum(result.sent_per_server.values()) >= result.completed
+
+
+class TestRunTrialEndToEnd:
+    def test_slow_node_trial_writes_valid_artifacts(self, tmp_path):
+        config = LiveTrialConfig(
+            strategy="c3",
+            scenario="slow_node",
+            scenario_params={"factor": 3.0},
+            num_servers=2,
+            replication_factor=2,
+            duration_s=1.5,
+            warmup_s=0.25,
+            cooldown_s=0.25,
+            arrival_rate_per_s=120.0,
+            base_service_ms=2.0,
+            seed=7,
+        )
+        out_dir = tmp_path / "trial"
+        result = run_trial(config, out_dir)
+
+        for name in ("payload.json", "histogram.json", "server_load.json"):
+            assert (out_dir / name).is_file()
+        assert result.results["completed"] > 0
+        assert result.results["trimmed_count"] > 0
+        assert result.histogram.count == result.results["trimmed_count"]
+        assert result.payload["digest"] == payload_digest(result.payload)
+        assert "recorded_at_unix" in result.payload["provenance"]
+        assert len(result.server_stats) == 2
+
+        # The written directory loads back through the comparison gate.
+        trial = load_trial(out_dir)
+        assert trial.strategy == "C3"
+        assert trial.payload["config"]["scenario"] == "slow-node"
+        assert trial.histogram.count == result.histogram.count
